@@ -1,0 +1,12 @@
+"""Pytest root conftest: make `repro` importable even without installation.
+
+This environment is offline; `pip install -e .` may be unavailable when the
+`wheel` package is missing, so fall back to a src-layout sys.path insert.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

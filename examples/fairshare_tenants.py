@@ -1,0 +1,91 @@
+"""Weighted fair sharing of a single GPU between two tenants (TFS).
+
+Tenant "gold" (weight 3) and tenant "bronze" (weight 1) run the same
+GPU-heavy service in closed loop on one Tesla C2050 under Strings' True
+Fair-Share device scheduler.  The script prints the attained GPU service
+of each tenant against the 3:1 entitlement, then repeats with equal
+weights and reports Jain's fairness.
+
+The service is built with the public ``calibrate`` API and uses *small*
+kernels (a few ms): TFS dispatches non-preemptively, so a tenant whose
+kernels dwarf the scheduling epoch can only be balanced through the
+history penalty, while fine-grained kernels track entitlements closely —
+run the script and compare.
+
+Run:  python examples/fairshare_tenants.py
+"""
+
+from repro.sim import Environment
+from repro.cluster import build_single_gpu_server
+from repro.core import StringsSystem
+from repro.core.policies import GMin, TFS
+from repro.apps import run_request, app_by_short
+from repro.apps.catalog import calibrate
+from repro.metrics import jains_fairness
+
+WINDOW_S = 90.0
+
+#: A GPU-heavy web service with ~4 ms kernels (finer than the 40 ms TFS
+#: epoch, so slices are honoured almost exactly).
+FINE_APP = calibrate(
+    "FineService", "FS", "B",
+    runtime_s=4.0, gpu_frac=0.85, transfer_frac=0.05,
+    boundedness=0.3, occupancy=0.6, iterations=64,
+)
+
+#: DXTC's ~0.9 s kernels overshoot every slice: entitlement is enforced
+#: only through the history penalty.
+COARSE_APP = app_by_short("DC")
+
+
+#: Concurrent request loops per tenant: TFS is work-conserving, so a
+#: tenant only receives its full entitlement while it has sustained
+#: demand — a single request's CPU phases would yield its slices away.
+LOOPS_PER_TENANT = 2
+
+
+def run_pair(app, weights):
+    env = Environment()
+    nodes, net = build_single_gpu_server(env)
+    system = StringsSystem(env, nodes, net, balancing=GMin(), device_policy=TFS)
+    service = {name: 0.0 for name in weights}
+
+    def tenant_loop(name, weight):
+        while env.now < WINDOW_S:
+            session = system.session(app.short, nodes[0], tenant_id=name, tenant_weight=weight)
+            yield env.process(run_request(env, session, app))
+            service[name] += session.entry.service_attained_s if session.entry else 0.0
+
+    procs = [
+        env.process(tenant_loop(name, w))
+        for name, w in weights.items()
+        for _ in range(LOOPS_PER_TENANT)
+    ]
+    env.run(until=env.all_of(procs))
+    return service
+
+
+def main():
+    print(f"Two tenants in closed loop for {WINDOW_S:.0f}s on one Tesla C2050, "
+          "TFS-Strings\n")
+
+    for label, app in (("fine-grained kernels (~4 ms)", FINE_APP),
+                       ("coarse kernels (~0.9 s, DXTC)", COARSE_APP)):
+        service = run_pair(app, {"gold": 3.0, "bronze": 1.0})
+        gold, bronze = service["gold"], service["bronze"]
+        print(f"{label}, gold:bronze entitled 3.00")
+        print(f"  gold   attained GPU service: {gold:7.2f}s")
+        print(f"  bronze attained GPU service: {bronze:7.2f}s")
+        print(f"  achieved service ratio: {gold / max(bronze, 1e-9):.2f}\n")
+
+    service = run_pair(FINE_APP, {"alpha": 1.0, "beta": 1.0})
+    alpha, beta = service["alpha"], service["beta"]
+    print("equal shares (1:1), fine-grained kernels:")
+    print(f"  alpha attained GPU service: {alpha:7.2f}s")
+    print(f"  beta  attained GPU service: {beta:7.2f}s")
+    print(f"  Jain's fairness over attained service: "
+          f"{100 * jains_fairness([alpha, beta]):.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Explore the throughput/fairness trade-off of the device policies.
+
+Runs a four-tenant workload (DXTC, Histogram, MonteCarlo, BlackScholes
+all sharing one Tesla C2050 — enough tenants that the wake-slot gating
+actually binds) under four device-level policies — no gating, TFS, LAS
+and PS — and prints, for each: per-app mean completion times, overall
+throughput (paper's weighted speedup vs running alone) and Jain's
+fairness.  TFS equalizes *attained service*, which protects small
+tenants but (with heterogeneous demands) lowers equal-slowdown fairness
+and throughput; LAS favours the short jobs; PS keeps the engines busy
+(paper Section V).  Compare with Fig. 11, where pairs with equal shares
+make TFS the fairest system.
+
+Run:  python examples/policy_explorer.py
+"""
+
+from repro.cluster import build_single_gpu_server
+from repro.core.policies import AlwaysAwake, LAS, PS, TFS
+from repro.core.systems import StringsSystem
+from repro.core.policies import GMin
+from repro.apps import app_by_short
+from repro.harness.runner import closed_loop_shared_run, solo_completion_time
+from repro.metrics import jains_fairness, weighted_speedup
+
+POLICIES = [
+    ("no gating", AlwaysAwake),
+    ("TFS", TFS),
+    ("LAS", LAS),
+    ("PS", PS),
+]
+
+WINDOW_S = 90.0
+
+
+TENANTS = ["DC", "HI", "MC", "BS"]
+
+
+def main():
+    apps = [app_by_short(s) for s in TENANTS]
+    print(f"Four tenants ({', '.join(TENANTS)}) sharing one Tesla C2050, "
+          f"{WINDOW_S:.0f}s closed loop\n")
+    header = " ".join(f"{s + ' mean':>10s}" for s in TENANTS)
+    print(f"{'policy':10s} {header} {'weighted speedup':>17s} {'fairness':>9s}")
+
+    for label, policy in POLICIES:
+        def factory(env, nodes, net, p=policy):
+            return StringsSystem(env, nodes, net, balancing=GMin(), device_policy=p)
+
+        solo = {
+            app.short: solo_completion_time(factory, app, build_single_gpu_server)
+            for app in apps
+        }
+        shared = closed_loop_shared_run(
+            factory, apps, build_single_gpu_server, window_s=WINDOW_S
+        )
+        ws = weighted_speedup(
+            [solo[a.short] for a in apps],
+            [shared[a.short] for a in apps],
+        )
+        fairness = jains_fairness([solo[a.short] / shared[a.short] for a in apps])
+        cells = " ".join(f"{shared[s]:9.2f}s" for s in TENANTS)
+        print(f"{label:10s} {cells} {ws:16.2f}x {100 * fairness:8.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""repro — reproduction of the SC'14 Strings GPU scheduler.
+
+Sengupta, Goswami, Schwan, Pallavi: *Scheduling Multi-tenant Cloud
+Workloads on Accelerator-based Systems*, SC 2014 (DOI 10.1109/SC.2014.47).
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.sim` — discrete-event simulation kernel;
+* :mod:`repro.simgpu` — the simulated multi-engine Fermi GPUs;
+* :mod:`repro.cuda` — the simulated CUDA runtime API;
+* :mod:`repro.remoting` — interposer/backend GPU remoting;
+* :mod:`repro.cluster` — nodes, supernode, interconnect;
+* :mod:`repro.core` — the Strings scheduler (and Rain / bare-CUDA
+  baselines): gPool, affinity mapper, context packer, per-device
+  scheduler, every policy of Section IV;
+* :mod:`repro.apps` — the Table I benchmark application models;
+* :mod:`repro.workloads` — exponential request streams, pairs A..X;
+* :mod:`repro.metrics` — weighted speedup and Jain's fairness;
+* :mod:`repro.harness` — one runner per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,30 @@
+"""Benchmark application models (paper Table I).
+
+The paper drives its evaluation with ten CUDA SDK / Rodinia programs.  The
+scheduler never sees application *semantics* — only the stream of CUDA
+calls and their resource footprints — so each program is modelled as a
+phase machine (CPU → H2D → kernel → D2H per iteration) whose parameters
+are calibrated to Table I: runtime class (Group A 10–55 s, Group B
+< 10 s), GPU-time fraction, data-transfer fraction and relative memory
+bandwidth.  See DESIGN.md for the calibration interpretation.
+"""
+
+from repro.apps.models import AppSpec, RequestResult, run_request
+from repro.apps.catalog import (
+    ALL_APPS,
+    APPS_BY_SHORT,
+    GROUP_A,
+    GROUP_B,
+    app_by_short,
+)
+
+__all__ = [
+    "ALL_APPS",
+    "APPS_BY_SHORT",
+    "AppSpec",
+    "GROUP_A",
+    "GROUP_B",
+    "RequestResult",
+    "app_by_short",
+    "run_request",
+]

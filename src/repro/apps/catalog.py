@@ -1,0 +1,202 @@
+"""The ten benchmark applications of paper Table I, calibrated.
+
+Calibration interpretation (documented in DESIGN.md / EXPERIMENTS.md):
+
+* *GPU Time %* — fraction of the app's solo runtime spent on the GPU
+  (kernels + transfers);
+* *Data Transfer %* — share of that GPU time spent in host/device data
+  transfer (this is the only reading under which BO's 41% GPU / 98.9%
+  transfer rows are consistent);
+* *Memory Bandwidth* — average achieved device-memory bandwidth of the
+  kernels.  We preserve the paper's per-app bandwidth *ranking* but scale
+  the top apps into the genuinely bandwidth-bound regime of the roofline
+  model (``b = 0.9 * sqrt(bw_paper / bw_max)``), because average-rate
+  models lose the bursty saturation real kernels exhibit — without the
+  rescale, no app would ever contend on memory bandwidth and MBF would
+  have nothing to exploit.
+
+Solo runtimes are the paper's job-length classes (Group A 10–55 s,
+Group B < 10 s); DC's 33.56 s appears verbatim in the paper's Fig. 6 SFT
+illustration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.apps.models import AppSpec
+from repro.simgpu.specs import DeviceSpec, TESLA_C2050
+
+#: Calibration reference card (NodeA's strong GPU).
+REFERENCE_SPEC: DeviceSpec = TESLA_C2050
+
+#: Split of per-iteration transfer volume between H2D and D2H.
+_H2D_SHARE = 0.6
+#: Split of CPU time between one-off setup and the per-iteration share.
+_CPU_PRE_SHARE = 0.05
+
+
+def calibrate(
+    name: str,
+    short: str,
+    group: str,
+    runtime_s: float,
+    gpu_frac: float,
+    transfer_frac: float,
+    boundedness: float,
+    occupancy: float,
+    iterations: int,
+    input_label: str = "",
+    spec: DeviceSpec = REFERENCE_SPEC,
+) -> AppSpec:
+    """Build an :class:`AppSpec` hitting the given Table-I-style targets.
+
+    The targets are exact for the analytic solo run on ``spec`` with
+    baseline CUDA semantics (pageable synchronous transfers, serial
+    phases), up to per-op launch latencies.
+    """
+    if not 0 <= gpu_frac <= 1 or not 0 <= transfer_frac <= 1:
+        raise ValueError("fractions must be within [0, 1]")
+    if not 0 <= boundedness <= 1:
+        raise ValueError("boundedness must be within [0, 1]")
+
+    gpu_busy = runtime_s * gpu_frac
+    transfer_total = gpu_busy * transfer_frac
+    kernel_total = gpu_busy - transfer_total
+    cpu_total = runtime_s - gpu_busy
+
+    kernel_solo = kernel_total / iterations
+    # Roofline inversion: memory time = b * solo, compute time = solo.
+    kernel_bytes_gb = boundedness * kernel_solo * spec.mem_bandwidth_gbps
+    if boundedness < 1.0:
+        kernel_flops = kernel_solo * spec.peak_gflops
+    else:  # fully memory-bound: any compute that fits under the roof
+        kernel_flops = 0.25 * kernel_solo * spec.peak_gflops
+
+    transfer_iter_s = transfer_total / iterations
+    bytes_per_iter = transfer_iter_s * spec.pcie_gbps_pageable * 1e9
+    h2d_bytes = int(bytes_per_iter * _H2D_SHARE)
+    d2h_bytes = int(bytes_per_iter * (1.0 - _H2D_SHARE))
+
+    # Device footprint: a reused staging/working buffer, not the total
+    # volume streamed through it.
+    buffer_bytes = int(min(192e6, max(32e6, h2d_bytes)))
+
+    return AppSpec(
+        name=name,
+        short=short,
+        group=group,
+        iterations=iterations,
+        cpu_pre_s=cpu_total * _CPU_PRE_SHARE,
+        cpu_iter_s=cpu_total * (1.0 - _CPU_PRE_SHARE) / iterations,
+        h2d_bytes=h2d_bytes,
+        d2h_bytes=d2h_bytes,
+        kernel_flops=max(kernel_flops, 1e-6),
+        kernel_bytes_gb=kernel_bytes_gb,
+        occupancy=occupancy,
+        buffer_bytes=buffer_bytes,
+        input_label=input_label,
+    )
+
+
+# --- Group A: long-running jobs (10-55 s) -------------------------------------
+#     (name, short, runtime, gpu%, transfer% of GPU time, boundedness, occ, iters)
+
+DXTC = calibrate(
+    "DXTC", "DC", "A",
+    runtime_s=33.56, gpu_frac=0.8931, transfer_frac=0.00005,
+    boundedness=0.061, occupancy=0.80, iterations=32,
+    input_label="512 x 512 pixels",
+)
+SCAN = calibrate(
+    "Scan", "SC", "A",
+    runtime_s=12.0, gpu_frac=0.1073, transfer_frac=0.2499,
+    boundedness=0.265, occupancy=0.30, iterations=24,
+    input_label="1K & 256K elements",
+)
+BINOMIAL_OPTIONS = calibrate(
+    "Binomial options", "BO", "A",
+    runtime_s=18.0, gpu_frac=0.4106, transfer_frac=0.9888,
+    boundedness=0.47, occupancy=0.50, iterations=30,
+    input_label="1024 points; 2048 steps",
+)
+MATRIX_MULTIPLY = calibrate(
+    "Matrix multiply", "MM", "A",
+    runtime_s=25.0, gpu_frac=0.8013, transfer_frac=0.0001,
+    boundedness=0.355, occupancy=0.90, iterations=32,
+    input_label="480 x 480 elements",
+)
+HISTOGRAM = calibrate(
+    "Histogram", "HI", "A",
+    runtime_s=40.0, gpu_frac=0.8651, transfer_frac=0.0017,
+    boundedness=0.90, occupancy=0.70, iterations=36,
+    input_label="64-bin & 256-bin",
+)
+EIGENVALUES = calibrate(
+    "Eigenvalues", "EV", "A",
+    runtime_s=50.0, gpu_frac=0.4192, transfer_frac=0.0073,
+    boundedness=0.154, occupancy=0.60, iterations=36,
+    input_label="8192 x 8192 elements",
+)
+
+# --- Group B: short-running jobs (< 10 s) ----------------------------------------
+
+BLACKSCHOLES = calibrate(
+    "Blackscholes", "BS", "B",
+    runtime_s=3.0, gpu_frac=0.2451, transfer_frac=0.0623,
+    boundedness=0.054, occupancy=0.40, iterations=12,
+    input_label="8000000 points; 1024 steps",
+)
+MONTE_CARLO = calibrate(
+    "MonteCarlo", "MC", "B",
+    runtime_s=8.0, gpu_frac=0.8486, transfer_frac=0.9894,
+    boundedness=0.42, occupancy=0.50, iterations=20,
+    input_label="2048 points",
+)
+GAUSSIAN = calibrate(
+    "Gaussian", "GA", "B",
+    runtime_s=2.0, gpu_frac=0.0114, transfer_frac=0.0032,
+    boundedness=0.032, occupancy=0.15, iterations=12,
+    input_label="50 x 50 elements",
+)
+SORTING_NETWORKS = calibrate(
+    "Sorting Networks", "SN", "B",
+    runtime_s=5.0, gpu_frac=0.0205, transfer_frac=0.2668,
+    boundedness=0.137, occupancy=0.25, iterations=12,
+    input_label="1M elements",
+)
+
+#: Table I order (Group A rows then Group B rows).
+GROUP_A: List[AppSpec] = [DXTC, SCAN, BINOMIAL_OPTIONS, MATRIX_MULTIPLY, HISTOGRAM, EIGENVALUES]
+GROUP_B: List[AppSpec] = [BLACKSCHOLES, MONTE_CARLO, GAUSSIAN, SORTING_NETWORKS]
+ALL_APPS: List[AppSpec] = GROUP_A + GROUP_B
+
+APPS_BY_SHORT: Dict[str, AppSpec] = {a.short: a for a in ALL_APPS}
+
+#: Paper Table I "Memory Bandwidth (in MB/s)" column, for rank checks.
+PAPER_BANDWIDTH_MBPS: Dict[str, float] = {
+    "DC": 63.14, "SC": 1193.03, "BO": 3764.44, "MM": 2143.26, "HI": 13736.33,
+    "EV": 401.27, "BS": 50.23, "MC": 3047.32, "GA": 17.89, "SN": 320.35,
+}
+
+
+def app_by_short(short: str) -> AppSpec:
+    """Look up an application by its two-letter code (e.g. ``"MC"``)."""
+    try:
+        return APPS_BY_SHORT[short]
+    except KeyError:
+        raise KeyError(
+            f"unknown app {short!r}; known: {sorted(APPS_BY_SHORT)}"
+        ) from None
+
+
+__all__ = [
+    "ALL_APPS",
+    "APPS_BY_SHORT",
+    "GROUP_A",
+    "GROUP_B",
+    "PAPER_BANDWIDTH_MBPS",
+    "REFERENCE_SPEC",
+    "app_by_short",
+    "calibrate",
+]

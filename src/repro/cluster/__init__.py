@@ -1,0 +1,23 @@
+"""Simulated cluster: nodes, GPUs and the interconnect.
+
+The paper's "supernode" is two dual-GPU machines joined by dedicated
+Gigabit Ethernet links; GPU remoting makes all four GPUs appear local.
+This package provides the node/network substrate; the gPool/gMap logical
+aggregation lives in :mod:`repro.core.gpool`.
+"""
+
+from repro.cluster.network import Network
+from repro.cluster.node import (
+    Node,
+    build_paper_supernode,
+    build_single_gpu_server,
+    build_small_server,
+)
+
+__all__ = [
+    "Network",
+    "Node",
+    "build_paper_supernode",
+    "build_single_gpu_server",
+    "build_small_server",
+]

@@ -1,0 +1,53 @@
+"""The Strings scheduler core (the paper's contribution).
+
+Public surface:
+
+* :class:`~repro.core.systems.StringsSystem` / ``RainSystem`` /
+  ``CudaRuntimeSystem`` — the three runtime stacks under evaluation;
+* :mod:`repro.core.policies` — every scheduling policy of Section IV;
+* :class:`~repro.core.gpool.GPool` — gPool/gMap/DST aggregation;
+* :class:`~repro.core.affinity.GpuAffinityMapper` — the workload balancer;
+* :class:`~repro.core.gpu_scheduler.GpuScheduler` — the per-device layer;
+* :class:`~repro.core.packer.ContextPacker` — context packing (SC/AST/
+  SST/MOT + PMT);
+* :class:`~repro.core.config.SchedulerConfig` — tunables.
+"""
+
+from repro.core.affinity import Binding, GpuAffinityMapper
+from repro.core.config import DEFAULT_CONFIG, SchedulerConfig
+from repro.core.dispatch import DispatchGate
+from repro.core.feedback import AppProfile, SchedulerFeedbackTable
+from repro.core.gpool import DeviceStatus, DeviceStatusTable, GMap, GMapEntry, GPool
+from repro.core.gpu_scheduler import GpuScheduler
+from repro.core.packer import ContextPacker, PackedApp, PinnedMemoryTable
+from repro.core.rcb import GpuPhase, RcbEntry, RequestControlBlock
+from repro.core.sessions import DirectSession, RainSession, StringsSession
+from repro.core.systems import CudaRuntimeSystem, RainSystem, StringsSystem
+
+__all__ = [
+    "AppProfile",
+    "Binding",
+    "ContextPacker",
+    "CudaRuntimeSystem",
+    "DEFAULT_CONFIG",
+    "DeviceStatus",
+    "DeviceStatusTable",
+    "DispatchGate",
+    "DirectSession",
+    "GMap",
+    "GMapEntry",
+    "GPool",
+    "GpuAffinityMapper",
+    "GpuPhase",
+    "GpuScheduler",
+    "PackedApp",
+    "PinnedMemoryTable",
+    "RainSession",
+    "RainSystem",
+    "RcbEntry",
+    "RequestControlBlock",
+    "SchedulerConfig",
+    "SchedulerFeedbackTable",
+    "StringsSession",
+    "StringsSystem",
+]

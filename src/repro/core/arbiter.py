@@ -1,0 +1,124 @@
+"""The Policy Arbiter: dynamic switching of the balancing policy.
+
+Paper Section III.C: "The PA also triggers dynamic policy switching, upon
+receiving sufficient feedback information from low-level GPU schedulers",
+and Section V.D: "When the workload balancer receives feedback information
+from low-level GPU schedulers, it dynamically switches to the appropriate
+feedback-based load balancing policy."
+
+The arbiter holds the mapper's Policy Table — a static policy for the
+cold-start regime and a feedback policy for the warmed regime — and swaps
+the active policy once the SFT covers enough of the live application mix.
+(The feedback policies additionally fall back per-application for apps the
+SFT has never seen, so the two mechanisms compose.)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.core.affinity import GpuAffinityMapper
+from repro.core.feedback import AppProfile
+from repro.core.policies.balancing import BalancingPolicy
+from repro.core.policies.feedback import FeedbackPolicy
+
+
+class PolicyArbiter:
+    """Watches feedback arrivals and upgrades the mapper's active policy.
+
+    Parameters
+    ----------
+    mapper:
+        The affinity mapper whose ``policy`` the arbiter manages.
+    static_policy:
+        Cold-start policy (e.g. GMin) — installed immediately.
+    feedback_policy:
+        Warm-regime policy (RTF/GUF/DTF/MBF) sharing the mapper's SFT.
+    min_profiles:
+        Number of feedback deliveries before switching.
+    min_distinct_apps:
+        Number of *distinct* applications the SFT must have seen.
+    """
+
+    def __init__(
+        self,
+        mapper: GpuAffinityMapper,
+        static_policy: BalancingPolicy,
+        feedback_policy: FeedbackPolicy,
+        min_profiles: int = 4,
+        min_distinct_apps: int = 2,
+    ) -> None:
+        if feedback_policy.sft is not mapper.sft:
+            feedback_policy.sft = mapper.sft
+        self.mapper = mapper
+        self.static_policy = static_policy
+        self.feedback_policy = feedback_policy
+        self.min_profiles = min_profiles
+        self.min_distinct_apps = min_distinct_apps
+        self._seen_apps: Set[str] = set()
+        self._profiles = 0
+        self.switched_at_profile: Optional[int] = None
+        #: Audit log of (profile_count, policy_name) transitions.
+        self.transitions: List[tuple] = [(0, static_policy.name)]
+        mapper.policy = static_policy
+
+    @property
+    def active_policy(self) -> BalancingPolicy:
+        """The mapper's currently installed policy."""
+        return self.mapper.policy
+
+    @property
+    def switched(self) -> bool:
+        """True once the feedback policy has been installed."""
+        return self.switched_at_profile is not None
+
+    def deliver_feedback(self, profile: AppProfile) -> None:
+        """Feedback-Engine sink: update the SFT and maybe switch policy.
+
+        Install this (instead of ``mapper.deliver_feedback``) as the
+        per-device schedulers' ``feedback_sink``.
+        """
+        self.mapper.deliver_feedback(profile)
+        self._profiles += 1
+        self._seen_apps.add(profile.app_name)
+        if (
+            not self.switched
+            and self._profiles >= self.min_profiles
+            and len(self._seen_apps) >= self.min_distinct_apps
+        ):
+            self.mapper.policy = self.feedback_policy
+            self.switched_at_profile = self._profiles
+            self.transitions.append((self._profiles, self.feedback_policy.name))
+
+    def __repr__(self) -> str:
+        return (
+            f"<PolicyArbiter active={self.active_policy.name} "
+            f"profiles={self._profiles} switched={self.switched}>"
+        )
+
+
+def install_arbiter(
+    system,
+    static_policy: BalancingPolicy,
+    feedback_policy: FeedbackPolicy,
+    min_profiles: int = 4,
+    min_distinct_apps: int = 2,
+) -> PolicyArbiter:
+    """Wire a :class:`PolicyArbiter` into a Rain/Strings system.
+
+    Replaces every device scheduler's feedback sink so profiles flow
+    through the arbiter.  Returns the arbiter for inspection.
+    """
+    arbiter = PolicyArbiter(
+        system.mapper,
+        static_policy,
+        feedback_policy,
+        min_profiles=min_profiles,
+        min_distinct_apps=min_distinct_apps,
+    )
+    for sched in system.schedulers.values():
+        sched.feedback_sink = arbiter.deliver_feedback
+    return arbiter
+
+
+__all__ = ["PolicyArbiter", "install_arbiter"]

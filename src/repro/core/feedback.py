@@ -1,0 +1,137 @@
+"""Application profiles and the Scheduler Feedback Table (SFT).
+
+The device-level Request Monitor measures each application's runtime,
+GPU time, data-transfer time and approximate memory bandwidth; the
+Feedback Engine piggybacks these on the ``cudaThreadExit`` response, and
+the Policy Arbiter folds them into the SFT — the history table that
+feedback-based load balancing (RTF, GUF, DTF, MBF) reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class AppProfile:
+    """Measured characteristics of one completed application run.
+
+    Attributes mirror the paper's Request Monitor outputs (Section III.C):
+    total execution time, total GPU time, data transfer time, memory
+    bandwidth, and derived fractions.
+    """
+
+    app_name: str
+    runtime_s: float
+    gpu_time_s: float
+    transfer_time_s: float
+    bytes_accessed_gb: float
+    gid: int = -1
+
+    @property
+    def gpu_utilization(self) -> float:
+        """Total GPU time over total runtime (paper's GUF metric)."""
+        if self.runtime_s <= 0:
+            return 0.0
+        return min(1.0, (self.gpu_time_s + self.transfer_time_s) / self.runtime_s)
+
+    @property
+    def transfer_fraction(self) -> float:
+        """Share of GPU-side time spent moving data (paper's DTF metric)."""
+        busy = self.gpu_time_s + self.transfer_time_s
+        if busy <= 0:
+            return 0.0
+        return self.transfer_time_s / busy
+
+    @property
+    def memory_bandwidth_gbps(self) -> float:
+        """Approximate memory bandwidth: total kernel data accesses over
+        total kernel GPU time (paper's MBF metric)."""
+        if self.gpu_time_s <= 0:
+            return 0.0
+        return self.bytes_accessed_gb / self.gpu_time_s
+
+
+@dataclass
+class SftRow:
+    """Exponentially-smoothed history of one application's profiles."""
+
+    app_name: str
+    samples: int = 0
+    runtime_s: float = 0.0
+    gpu_time_s: float = 0.0
+    transfer_time_s: float = 0.0
+    gpu_utilization: float = 0.0
+    transfer_fraction: float = 0.0
+    memory_bandwidth_gbps: float = 0.0
+    #: Per-GID mean runtimes (reactive device-specific estimate for RTF).
+    runtime_by_gid: Dict[int, float] = field(default_factory=dict)
+
+
+class SchedulerFeedbackTable:
+    """The SFT: per-application smoothed profiles fed back by devices.
+
+    Parameters
+    ----------
+    alpha:
+        Smoothing factor for the exponential moving averages (weight of
+        the newest sample).
+    """
+
+    def __init__(self, alpha: float = 0.5) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._rows: Dict[str, SftRow] = {}
+        self.updates = 0
+
+    def update(self, profile: AppProfile) -> None:
+        """Fold a completed run's profile into the table."""
+        row = self._rows.get(profile.app_name)
+        if row is None:
+            row = SftRow(app_name=profile.app_name)
+            self._rows[profile.app_name] = row
+        a = self.alpha if row.samples else 1.0
+
+        def mix(old: float, new: float) -> float:
+            return (1 - a) * old + a * new
+
+        row.runtime_s = mix(row.runtime_s, profile.runtime_s)
+        row.gpu_time_s = mix(row.gpu_time_s, profile.gpu_time_s)
+        row.transfer_time_s = mix(row.transfer_time_s, profile.transfer_time_s)
+        row.gpu_utilization = mix(row.gpu_utilization, profile.gpu_utilization)
+        row.transfer_fraction = mix(row.transfer_fraction, profile.transfer_fraction)
+        row.memory_bandwidth_gbps = mix(
+            row.memory_bandwidth_gbps, profile.memory_bandwidth_gbps
+        )
+        if profile.gid >= 0:
+            old = row.runtime_by_gid.get(profile.gid)
+            row.runtime_by_gid[profile.gid] = (
+                profile.runtime_s if old is None else mix(old, profile.runtime_s)
+            )
+        row.samples += 1
+        self.updates += 1
+
+    def lookup(self, app_name: str) -> Optional[SftRow]:
+        """The smoothed profile for ``app_name`` (None if never seen)."""
+        return self._rows.get(app_name)
+
+    def known(self, app_name: str) -> bool:
+        """True once at least one profile for ``app_name`` has arrived."""
+        return app_name in self._rows
+
+    def expected_runtime(self, app_name: str, gid: Optional[int] = None) -> Optional[float]:
+        """Best runtime estimate for ``app_name`` (device-specific first)."""
+        row = self._rows.get(app_name)
+        if row is None:
+            return None
+        if gid is not None and gid in row.runtime_by_gid:
+            return row.runtime_by_gid[gid]
+        return row.runtime_s
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+
+__all__ = ["AppProfile", "SchedulerFeedbackTable", "SftRow"]

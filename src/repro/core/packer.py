@@ -1,0 +1,162 @@
+"""The Context Packer (paper Section III.C).
+
+Packs the GPU components of every application sharing a device into the
+per-device backend process's single GPU context, and performs the three
+call translations that make packing safe and fast:
+
+* **Stream Creator (SC)** — a dedicated CUDA stream per application,
+  created on its first GPU request and torn down on exit;
+* **Auto Stream Translator (AST)** — every default-stream (stream 0)
+  operation is retargeted onto the application's own stream;
+* **Sync Stream Translator (SST)** — ``cudaDeviceSynchronize`` becomes
+  ``cudaStreamSynchronize`` on the application's stream, so one tenant's
+  sync cannot stall the whole packed context;
+* **Memory Operation Translator (MOT)** — synchronous memcpys become
+  asynchronous pinned-staging copies tracked in the Pinned Memory Table;
+  staged buffers are reclaimed at the next synchronization point, D2H
+  copy, or thread exit.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.simgpu import CopyKind, GpuStream
+from repro.cuda import CudaThread
+
+_pmt_ids = itertools.count(0x90000)
+
+
+@dataclass
+class PmtEntry:
+    """One row of the Pinned Memory Table."""
+
+    address: int
+    stream_id: int
+    tenant_id: str
+    size_bytes: int
+    phase: str  # "H2D" or "D2H"
+
+
+class PinnedMemoryTable:
+    """Tracks the host page-locked staging buffers the MOT allocates."""
+
+    def __init__(self) -> None:
+        self._rows: Dict[int, PmtEntry] = {}
+        self.peak_bytes = 0
+        self.total_staged = 0
+
+    def add(self, stream_id: int, tenant_id: str, size_bytes: int, phase: str) -> int:
+        """Allocate a staging buffer; returns its (opaque) host address."""
+        addr = next(_pmt_ids)
+        self._rows[addr] = PmtEntry(addr, stream_id, tenant_id, size_bytes, phase)
+        self.total_staged += size_bytes
+        self.peak_bytes = max(self.peak_bytes, self.outstanding_bytes)
+        return addr
+
+    def release(self, addr: int) -> None:
+        """Free one staging buffer."""
+        self._rows.pop(addr, None)
+
+    def release_stream(self, stream_id: int) -> int:
+        """Free every buffer belonging to one application's stream
+        (called at its synchronization points and on exit); returns the
+        number of buffers reclaimed."""
+        doomed = [a for a, r in self._rows.items() if r.stream_id == stream_id]
+        for a in doomed:
+            del self._rows[a]
+        return len(doomed)
+
+    @property
+    def outstanding_bytes(self) -> int:
+        """Pinned bytes currently held."""
+        return sum(r.size_bytes for r in self._rows.values())
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+
+class PackedApp:
+    """Per-application packing state: its stream and PMT linkage."""
+
+    def __init__(self, worker: CudaThread, tenant_id: str, pmt: PinnedMemoryTable) -> None:
+        self.worker = worker
+        self.tenant_id = tenant_id
+        self.pmt = pmt
+        #: SC: the application's dedicated stream.
+        self.stream: GpuStream = worker.stream_create()
+        self.translated_syncs = 0
+        self.translated_memcpys = 0
+
+    # -- AST ------------------------------------------------------------------
+
+    def target_stream(self, requested: Optional[GpuStream]) -> GpuStream:
+        """Retarget default-stream ops to the app's own stream."""
+        if requested is None or requested.stream_id == 0:
+            return self.stream
+        return requested
+
+    # -- SST --------------------------------------------------------------------
+
+    def synchronize(self):
+        """Device sync → stream sync on the app's own stream; reclaims the
+        stream's staged pinned buffers (PMT maintenance)."""
+        self.translated_syncs += 1
+        self.pmt.release_stream(self.stream.stream_id)
+        return self.worker.stream_synchronize(self.stream)
+
+    # -- MOT ----------------------------------------------------------------------
+
+    def memcpy_async_staged(self, nbytes: int, kind: CopyKind, tag: str = ""):
+        """Sync memcpy → pinned-staged async memcpy on the app's stream.
+
+        Returns the device-side completion event.  The *caller* models the
+        staging copy cost (a host memcpy) before invoking this, because
+        that cost is paid frontend-side in the runtime layer.
+        """
+        self.translated_memcpys += 1
+        phase = "H2D" if kind is CopyKind.H2D else "D2H"
+        if kind is CopyKind.D2H:
+            # A D2H copy is a synchronization point for the app's earlier
+            # staged H2D buffers (paper's PMT reclamation rule).
+            self.pmt.release_stream(self.stream.stream_id)
+        self.pmt.add(self.stream.stream_id, self.tenant_id, nbytes, phase)
+        return self.worker.memcpy_async(nbytes, kind, stream=self.stream, pinned=True, tag=tag)
+
+    # -- teardown -------------------------------------------------------------------
+
+    def teardown(self) -> None:
+        """Release the app's stream and every outstanding PMT row."""
+        self.pmt.release_stream(self.stream.stream_id)
+        if not self.stream.destroyed:
+            self.worker.stream_destroy(self.stream)
+
+
+class ContextPacker:
+    """Per-device packer: one PMT, one packed-app record per tenant."""
+
+    def __init__(self) -> None:
+        self.pmt = PinnedMemoryTable()
+        self._apps: List[PackedApp] = []
+
+    def pack(self, worker: CudaThread, tenant_id: str) -> PackedApp:
+        """Admit an application into the device's shared context."""
+        app = PackedApp(worker, tenant_id, self.pmt)
+        self._apps.append(app)
+        return app
+
+    def unpack(self, app: PackedApp) -> None:
+        """Remove an application (exit path)."""
+        app.teardown()
+        if app in self._apps:
+            self._apps.remove(app)
+
+    @property
+    def packed_count(self) -> int:
+        """Applications currently sharing the context."""
+        return len(self._apps)
+
+
+__all__ = ["ContextPacker", "PackedApp", "PinnedMemoryTable", "PmtEntry"]

@@ -1,0 +1,47 @@
+"""Scheduling policies: workload balancing, device-level, feedback-based.
+
+* :mod:`repro.core.policies.balancing` — GRR, GMin, GWtMin (DST-only
+  workload balancing across the gPool, paper Section IV.A);
+* :mod:`repro.core.policies.device` — AlwaysAwake, TFS, LAS, PS
+  (per-device dispatching, Section IV.B);
+* :mod:`repro.core.policies.feedback` — RTF, GUF, DTF, MBF
+  (feedback-based load balancing, Section IV.C).
+"""
+
+from repro.core.policies.balancing import (
+    BalancingPolicy,
+    GMin,
+    GRR,
+    GWtMin,
+)
+from repro.core.policies.device import (
+    AlwaysAwake,
+    DevicePolicy,
+    LAS,
+    PS,
+    TFS,
+)
+from repro.core.policies.feedback import (
+    DTF,
+    FeedbackPolicy,
+    GUF,
+    MBF,
+    RTF,
+)
+
+__all__ = [
+    "AlwaysAwake",
+    "BalancingPolicy",
+    "DTF",
+    "DevicePolicy",
+    "FeedbackPolicy",
+    "GMin",
+    "GRR",
+    "GUF",
+    "GWtMin",
+    "LAS",
+    "MBF",
+    "PS",
+    "RTF",
+    "TFS",
+]

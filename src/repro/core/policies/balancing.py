@@ -1,0 +1,94 @@
+"""DST-only workload balancing policies (paper Section IV.A).
+
+These select a target GID for each arriving application using only the
+Device Status Table:
+
+* **GRR** — global round robin over the gPool;
+* **GMin** — least ``device_load`` (count of bound apps), ties broken in
+  favour of GPUs local to the requesting frontend (remote GPUs are more
+  expensive to reach);
+* **GWtMin** — least *weighted* load, dividing by each device's static
+  capability weight.  The paper stresses that these static weights often
+  fail to mirror real per-application performance (Section V.D), which is
+  the motivation for the feedback policies.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional
+
+from repro.core.gpool import DeviceStatusTable, GPool
+
+
+class BalancingPolicy(abc.ABC):
+    """Selects a target GID for an arriving application."""
+
+    #: Short name used in experiment labels ("GRR", "GMin", ...).
+    name: str = "?"
+
+    @abc.abstractmethod
+    def select(
+        self,
+        pool: GPool,
+        dst: DeviceStatusTable,
+        app_name: str,
+        frontend_host: str,
+    ) -> int:
+        """Return the GID the application should bind to."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__}>"
+
+
+class GRR(BalancingPolicy):
+    """Global round robin: cycle through the gPool in GID order."""
+
+    name = "GRR"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def select(self, pool, dst, app_name, frontend_host) -> int:
+        gids = pool.gids()
+        gid = gids[self._next % len(gids)]
+        self._next += 1
+        return gid
+
+
+class GMin(BalancingPolicy):
+    """Least-loaded GPU by bound-application count; prefers local GPUs.
+
+    Note: under Strings, queue length is a poor proxy for actual device
+    load (requests execute concurrently), so GMin can lose to GRR for
+    some applications — a paper-reported behaviour (Section V.D).
+    """
+
+    name = "GMin"
+
+    def select(self, pool, dst, app_name, frontend_host) -> int:
+        def key(row):
+            local = pool.is_local(row.gid, frontend_host)
+            return (row.device_load, 0 if local else 1, row.gid)
+
+        return min(dst.rows(), key=key).gid
+
+
+class GWtMin(BalancingPolicy):
+    """Least weighted load: ``device_load / static_weight``.
+
+    Accounts for heterogeneity across GPUs via the one-time weights the
+    gPool Creator assigned from device properties.
+    """
+
+    name = "GWtMin"
+
+    def select(self, pool, dst, app_name, frontend_host) -> int:
+        def key(row):
+            local = pool.is_local(row.gid, frontend_host)
+            return (row.device_load / row.weight, 0 if local else 1, row.gid)
+
+        return min(dst.rows(), key=key).gid
+
+
+__all__ = ["BalancingPolicy", "GMin", "GRR", "GWtMin"]

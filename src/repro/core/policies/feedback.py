@@ -1,0 +1,170 @@
+"""Feedback-based load balancing policies (paper Section IV.C).
+
+These consult the Scheduler Feedback Table — the per-application history
+the device-level Request Monitors feed back — in addition to the DST.
+Until the SFT has seen an application at least once, each policy falls
+back to a static policy (the Policy Arbiter's dynamic switching,
+Section III.C): decisions "are refined over time as the system learns
+about the GPU characteristics of more applications".
+
+* **RTF** — balances on *measured* per-device runtimes: the chosen GPU is
+  the one with the smallest estimated completion horizon (sum of bound
+  apps' expected remaining runtimes plus this app's own expected runtime).
+* **GUF** — avoids collocating applications with high GPU utilization
+  (the NUMA-contention analogy the paper borrows).
+* **DTF** — collocates applications with *contrasting* transfer/compute
+  balance so one tenant's copies overlap another's kernels.
+* **MBF** — avoids collocating bandwidth-bound applications, hiding a
+  memory-bound kernel's latency behind a compute-bound one; by
+  construction it subsumes the information RTF and DTF use.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.feedback import SchedulerFeedbackTable
+from repro.core.gpool import DeviceStatus, DeviceStatusTable, GPool
+from repro.core.policies.balancing import BalancingPolicy, GMin
+
+
+class FeedbackPolicy(BalancingPolicy):
+    """Base: SFT-aware policy with a cold-start fallback."""
+
+    def __init__(
+        self,
+        sft: SchedulerFeedbackTable,
+        fallback: Optional[BalancingPolicy] = None,
+    ) -> None:
+        self.sft = sft
+        self.fallback = fallback if fallback is not None else GMin()
+        self.fallback_decisions = 0
+        self.feedback_decisions = 0
+
+    def select(self, pool, dst, app_name, frontend_host) -> int:
+        if not self.sft.known(app_name):
+            self.fallback_decisions += 1
+            return self.fallback.select(pool, dst, app_name, frontend_host)
+        self.feedback_decisions += 1
+        return self._select(pool, dst, app_name, frontend_host)
+
+    def _select(self, pool, dst, app_name, frontend_host) -> int:
+        raise NotImplementedError
+
+    # -- shared helpers ----------------------------------------------------
+
+    def expected_runtime(self, app_name: str, row: DeviceStatus) -> float:
+        """Expected runtime of ``app_name`` on ``row``'s device.
+
+        Device-specific history wins; otherwise the global mean scaled by
+        the device's static weight (weaker card → longer run).
+        """
+        est = self.sft.expected_runtime(app_name, row.gid)
+        sft_row = self.sft.lookup(app_name)
+        if sft_row is not None and row.gid not in sft_row.runtime_by_gid:
+            est = sft_row.runtime_s / max(row.weight, 1e-6)
+        return est if est is not None else 0.0
+
+
+class RTF(FeedbackPolicy):
+    """Runtime Feedback: minimize the estimated completion horizon."""
+
+    name = "RTF"
+
+    def _select(self, pool, dst, app_name, frontend_host) -> int:
+        def key(row: DeviceStatus):
+            horizon = row.estimated_load_s + self.expected_runtime(app_name, row)
+            local = pool.is_local(row.gid, frontend_host)
+            return (horizon, 0 if local else 1, row.gid)
+
+        return min(dst.rows(), key=key).gid
+
+
+class GUF(FeedbackPolicy):
+    """GPU Utilization Feedback: spread the heavy hitters apart."""
+
+    name = "GUF"
+
+    def _select(self, pool, dst, app_name, frontend_host) -> int:
+        def key(row: DeviceStatus):
+            local = pool.is_local(row.gid, frontend_host)
+            return (
+                row.utilization_load,
+                row.device_load / row.weight,
+                0 if local else 1,
+                row.gid,
+            )
+
+        return min(dst.rows(), key=key).gid
+
+
+def _transfer_similarity(app_tf: float, profiles: List[Tuple[float, float]]) -> float:
+    """Collocation similarity penalty in transfer fraction: 0 = perfectly
+    contrasting partners, higher = similar (bad for DTF)."""
+    if not profiles:
+        return 0.0
+    return sum(1.0 - abs(app_tf - tf) for tf, _bw in profiles)
+
+
+def _bandwidth_oversubscription(
+    app_bw: float, profiles: List[Tuple[float, float]], device_bw: float
+) -> float:
+    """Predicted relative oversubscription of device memory bandwidth if
+    the app joins the currently bound set (0 = fits)."""
+    total = app_bw + sum(bw for _tf, bw in profiles)
+    return max(0.0, (total - device_bw) / device_bw)
+
+
+class DTF(FeedbackPolicy):
+    """Data Transfer Feedback: pair transfer-heavy with compute-heavy."""
+
+    name = "DTF"
+
+    def _select(self, pool, dst, app_name, frontend_host) -> int:
+        row_sft = self.sft.lookup(app_name)
+        app_tf = row_sft.transfer_fraction if row_sft else 0.0
+
+        def key(row: DeviceStatus):
+            local = pool.is_local(row.gid, frontend_host)
+            return (
+                row.device_load,
+                _transfer_similarity(app_tf, row.bound_profiles),
+                0 if local else 1,
+                row.gid,
+            )
+
+        return min(dst.rows(), key=key).gid
+
+
+class MBF(FeedbackPolicy):
+    """Memory Bandwidth Feedback: never stack bandwidth-bound tenants.
+
+    The bandwidth estimate (total kernel data accesses over total GPU
+    time) folds in both runtime and transfer knowledge, which is why the
+    paper finds MBF dominating RTF and DTF.
+    """
+
+    name = "MBF"
+
+    def _select(self, pool, dst, app_name, frontend_host) -> int:
+        row_sft = self.sft.lookup(app_name)
+        app_bw = row_sft.memory_bandwidth_gbps if row_sft else 0.0
+        app_tf = row_sft.transfer_fraction if row_sft else 0.0
+
+        def key(row: DeviceStatus):
+            local = pool.is_local(row.gid, frontend_host)
+            over = _bandwidth_oversubscription(
+                app_bw, row.bound_profiles, row.spec.mem_bandwidth_gbps
+            )
+            return (
+                row.device_load,
+                over,
+                _transfer_similarity(app_tf, row.bound_profiles),
+                0 if local else 1,
+                row.gid,
+            )
+
+        return min(dst.rows(), key=key).gid
+
+
+__all__ = ["DTF", "FeedbackPolicy", "GUF", "MBF", "RTF"]

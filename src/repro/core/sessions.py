@@ -1,0 +1,549 @@
+"""Concrete GPU sessions: bare CUDA runtime, Rain, and Strings.
+
+A session is the application's view of the installed runtime stack.  The
+three implementations differ exactly where the paper's systems differ:
+
+===============  ==================  ==================  ===================
+                 DirectSession        RainSession          StringsSession
+                 (CUDA runtime)       (Design I)           (Design III)
+---------------  ------------------  ------------------  -------------------
+device choice    app's programmed    workload balancer    workload balancer
+backend          own process          own backend proc     thread in per-GPU
+                                      (own GPU context)    proc (shared ctx)
+streams          default stream       default stream       own stream (SC/AST)
+memcpy           sync, pageable       sync, pageable       async, pinned (MOT)
+device sync      whole context        whole context        own stream (SST)
+device policy    none                 optional gate        optional gate
+feedback         none                 Request Monitor →    Request Monitor →
+                                      SFT                  SFT
+===============  ==================  ==================  ===================
+
+Backend issue loops: every managed session owns a FIFO issue loop that
+models its backend worker thread.  GPU ops pass the dispatch gate (when a
+device policy is installed) before being issued; issue is *pipelined* for
+asynchronous ops (the backend thread does not wait for an async op to
+finish before issuing the next, exactly like a real CUDA host thread) and
+blocking for synchronous ones.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim import Environment, Event, Store
+from repro.simgpu import CopyKind
+from repro.cuda.errors import CudaError, CudaErrorCode
+from repro.cluster.network import Network
+from repro.cluster.node import Node
+from repro.cuda import CudaThread, HostProcess
+from repro.remoting.rpc import RpcCostModel
+from repro.remoting.session import GpuSession
+from repro.core.affinity import Binding, GpuAffinityMapper
+from repro.core.gpu_scheduler import GpuScheduler
+from repro.core.packer import ContextPacker, PackedApp
+from repro.core.rcb import GpuPhase, RcbEntry
+
+
+#: Device-memory admission: how often a blocked cudaMalloc retries, and
+#: for how long before the error is surfaced.  The paper assumes request
+#: rates never exhaust device memory; under heavy queueing our simulated
+#: tenants *can* collide, so allocation waits for memory like the virtual-
+#: memory runtimes the paper cites ([16], Gdev) would make it.
+_MALLOC_RETRY_S = 0.025
+_MALLOC_MAX_WAIT_S = 1800.0
+
+
+def malloc_with_backpressure(env: Environment, thread, nbytes: int):
+    """cudaMalloc that waits out transient device-memory exhaustion.
+
+    A generator (run as a process); its value is the device pointer.
+    """
+    waited = 0.0
+    while True:
+        try:
+            return thread.malloc(nbytes)
+        except CudaError as exc:
+            if exc.code is not CudaErrorCode.MEMORY_ALLOCATION:
+                raise
+            if waited >= _MALLOC_MAX_WAIT_S:
+                raise
+        yield env.timeout(_MALLOC_RETRY_S)
+        waited += _MALLOC_RETRY_S
+
+
+class DirectSession(GpuSession):
+    """Static provisioning through the bare CUDA runtime.
+
+    The application keeps its programmed device, runs in its own host
+    process (own GPU context), and every call has native CUDA semantics.
+    """
+
+    def __init__(self, env: Environment, app_name: str, node: Node, tenant_id: str = "t0") -> None:
+        super().__init__(env, app_name, tenant_id)
+        self.node = node
+        self._proc: Optional[HostProcess] = None
+        self._thread: Optional[CudaThread] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def bind(self, programmed_device: int = 0) -> Event:
+        def _bind():
+            self._proc = HostProcess(self.env, self.node.devices, name=self.app_name)
+            self._thread = self._proc.spawn_thread()
+            self._thread.set_device(programmed_device)
+            yield self.env.timeout(0)
+            return programmed_device
+
+        return self.env.process(_bind(), name=f"bind:{self.app_name}")
+
+    def finish(self) -> Event:
+        def _finish():
+            yield self.env.timeout(0)
+            self._thread.thread_exit()
+            self._proc.teardown()
+
+        return self.env.process(_finish(), name=f"finish:{self.app_name}")
+
+    # -- calls ------------------------------------------------------------------
+
+    def malloc(self, nbytes: int) -> Event:
+        return self.env.process(
+            malloc_with_backpressure(self.env, self._thread, nbytes)
+        )
+
+    def free(self, ptr: int) -> Event:
+        def _free():
+            yield self.env.timeout(0)
+            self._thread.free(ptr)
+
+        return self.env.process(_free())
+
+    def memcpy(self, nbytes: int, kind: CopyKind) -> Event:
+        return self._thread.memcpy(nbytes, kind, tag=self.app_name)
+
+    def launch(self, flops: float, bytes_accessed: float, occupancy: float = 1.0, tag: str = "") -> Event:
+        return self._thread.launch_kernel(
+            flops, bytes_accessed, occupancy, tag=tag or self.app_name
+        )
+
+    def synchronize(self) -> Event:
+        return self._thread.device_synchronize()
+
+    @property
+    def worker(self) -> Optional[CudaThread]:
+        """The underlying CUDA thread (diagnostics)."""
+        return self._thread
+
+
+class _IssueItem:
+    """One queued backend operation."""
+
+    __slots__ = ("phase", "make", "blocking", "done", "gated")
+
+    def __init__(self, phase, make, blocking, done, gated=True):
+        self.phase = phase
+        self.make = make  # callable -> device completion Event (or None)
+        self.blocking = blocking
+        self.done = done  # Event fired with the op's result
+        self.gated = gated
+
+
+class ManagedSession(GpuSession):
+    """Shared machinery of Rain and Strings sessions.
+
+    Handles the interposer RPC costs, the affinity-mapper binding, the
+    device-scheduler registration, the backend issue loop and the Request
+    Monitor accounting.  Subclasses set the semantics knobs.
+    """
+
+    #: Whether memcpys are translated to pinned-staged async copies (MOT).
+    ASYNC_MEMCPY = False
+
+    def __init__(
+        self,
+        env: Environment,
+        app_name: str,
+        frontend_node: Node,
+        mapper: GpuAffinityMapper,
+        network: Network,
+        rpc: RpcCostModel,
+        tenant_id: str = "t0",
+        tenant_weight: float = 1.0,
+        binder: Optional[Callable[["ManagedSession", int], CudaThread]] = None,
+    ) -> None:
+        super().__init__(env, app_name, tenant_id)
+        self.frontend_node = frontend_node
+        self.mapper = mapper
+        self.network = network
+        self.rpc = rpc
+        self.tenant_weight = tenant_weight
+        #: Provided by the owning system: creates the backend worker for a
+        #: GID and installs ``session.scheduler`` (and packer, for Strings).
+        self.binder = binder
+
+        self.binding: Optional[Binding] = None
+        self.scheduler: Optional[GpuScheduler] = None
+        self.entry: Optional[RcbEntry] = None
+        self.worker: Optional[CudaThread] = None
+        self._local: bool = True
+        self._queue: Store = Store(env)
+        self._loop = env.process(self._issue_loop(), name=f"issue:{app_name}")
+        #: Completion event of the most recently *posted* GPU op (ordering
+        #: anchor for synchronize under async translation).
+        self._last_gpu_op: Optional[Event] = None
+        self._finished = False
+
+    # -- plumbing provided by the owning system -----------------------------
+
+    def _make_worker(self, gid: int) -> CudaThread:
+        if self.binder is None:
+            raise RuntimeError(
+                f"session {self.app_name!r} has no backend binder installed"
+            )
+        return self.binder(self, gid)
+
+    # -- RPC helpers -----------------------------------------------------------
+
+    def _req(self, payload: int = 128) -> float:
+        return self.rpc.request_delay(self.network, self._local, payload)
+
+    def _rsp(self) -> float:
+        return self.rpc.response_delay(self.network, self._local)
+
+    # -- issue loop ----------------------------------------------------------------
+
+    def _issue_loop(self):
+        env = self.env
+        while True:
+            item: _IssueItem = yield self._queue.get()
+            if item.gated and self.scheduler is not None and self.entry is not None:
+                yield self.scheduler.permission(self.entry, item.phase)
+                self.entry.issue()
+            completion = item.make()
+            if completion is None:
+                item.done.succeed(None)
+                continue
+            if item.blocking:
+                try:
+                    result = yield completion
+                except Exception as exc:  # noqa: BLE001 - marshalled upward
+                    if item.gated:
+                        self._complete_accounting(None)
+                    item.done.fail(exc)
+                    continue
+                if item.gated:
+                    self._complete_accounting(result)
+                item.done.succeed(result)
+            else:
+                self._hook_completion(completion, item.done, account=item.gated)
+
+    def _hook_completion(self, completion: Event, done: Event, account: bool = True) -> None:
+        def _cb(evt: Event) -> None:
+            if evt.ok:
+                if account:
+                    self._complete_accounting(evt.value)
+                if not done.triggered:
+                    done.succeed(evt.value)
+            else:
+                evt.defused = True
+                if account:
+                    self._complete_accounting(None)
+                if not done.triggered:
+                    done.fail(evt.value)
+
+        if completion.callbacks is None:
+            _cb(completion)
+        else:
+            completion.callbacks.append(_cb)
+
+    def _complete_accounting(self, record) -> None:
+        if self.entry is not None and record is not None:
+            self.entry.complete(record)
+        elif self.entry is not None:
+            self.entry.inflight = max(0, self.entry.inflight - 1)
+
+    def _post(self, phase: GpuPhase, make, blocking: bool, gated: bool = True) -> Event:
+        done = self.env.event()
+        self._queue.put(_IssueItem(phase, make, blocking, done, gated))
+        if phase is not GpuPhase.DFL:
+            self._last_gpu_op = done
+        return done
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def bind(self, programmed_device: int = 0) -> Event:
+        return self.env.process(self._bind(), name=f"bind:{self.app_name}")
+
+    def _bind(self):
+        env = self.env
+        # cudaSetDevice intercepted -> forwarded to the affinity mapper.
+        yield env.timeout(self.rpc.request_delay(self.network, True))
+        self.binding = self.mapper.bind(self.app_name, self.frontend_node.hostname)
+        gid = self.binding.gid
+        self._local = self.mapper.pool.is_local(gid, self.frontend_node.hostname)
+        # Forward the binding to the backend on the target node.
+        yield env.timeout(self._req())
+        self.worker = self._make_worker(gid)
+        reg = yield self.scheduler.register(
+            self.app_name, self.tenant_id, self.tenant_weight
+        )
+        self.entry = reg
+        yield env.timeout(self._rsp())
+        return gid
+
+    def finish(self) -> Event:
+        return self.env.process(self._finish(), name=f"finish:{self.app_name}")
+
+    def _finish(self):
+        env = self.env
+        if self._finished:
+            return None
+        self._finished = True
+        # Drain: wait for the last posted GPU op before tearing down.
+        if self._last_gpu_op is not None and not self._last_gpu_op.processed:
+            yield self._last_gpu_op
+        yield env.timeout(self._req())
+        profile = None
+        if self.scheduler is not None and self.entry is not None:
+            profile = self.scheduler.unregister(self.entry)
+        self._teardown_worker()
+        if self.binding is not None:
+            self.mapper.unbind(self.binding)
+        # Feedback rides the thread-exit response: no extra message cost.
+        yield env.timeout(self._rsp())
+        return profile
+
+    def _teardown_worker(self) -> None:
+        if self.worker is not None:
+            self.worker.thread_exit()
+
+    # -- memory -----------------------------------------------------------------------------
+
+    def malloc(self, nbytes: int) -> Event:
+        def _run():
+            yield self.env.timeout(self._req() + self._rsp())
+            done = self._post(
+                GpuPhase.DFL, lambda: self._malloc_now(nbytes), blocking=True, gated=False
+            )
+            ptr = yield done
+            return ptr
+
+        return self.env.process(_run())
+
+    def _malloc_now(self, nbytes: int) -> Event:
+        return self.env.process(
+            malloc_with_backpressure(self.env, self.worker, nbytes)
+        )
+
+    def free(self, ptr: int) -> Event:
+        def _run():
+            yield self.env.timeout(self._req() + self._rsp())
+            yield self._post(
+                GpuPhase.DFL, lambda: self._free_now(ptr), blocking=True, gated=False
+            )
+
+        return self.env.process(_run())
+
+    def _free_now(self, ptr: int) -> Event:
+        ev = self.env.event()
+        self.worker.free(ptr)
+        ev.succeed(None)
+        return ev
+
+
+class RainSession(ManagedSession):
+    """Design I: dedicated backend process, native call semantics.
+
+    Rain balances load across the gPool but cannot pack contexts: GPU
+    requests of co-located applications serialize with context switches,
+    synchronous memcpys hold the app (and its backend process) for the
+    full transfer, and the whole-context ``cudaDeviceSynchronize`` is
+    forwarded as-is.
+    """
+
+    def memcpy(self, nbytes: int, kind: CopyKind) -> Event:
+        def _run():
+            env = self.env
+            yield env.timeout(self._req())
+            if kind is CopyKind.H2D:
+                # Application buffer travels frontend -> backend first.
+                yield env.timeout(self.rpc.bulk_data_delay(self.network, self._local, nbytes))
+            phase = GpuPhase.H2D if kind is CopyKind.H2D else GpuPhase.D2H
+            done = self._post(
+                phase,
+                lambda: self.worker.memcpy(nbytes, kind, tag=self.app_name),
+                blocking=True,
+            )
+            yield done
+            if kind is CopyKind.D2H:
+                yield env.timeout(self.rpc.bulk_data_delay(self.network, self._local, nbytes))
+            yield env.timeout(self._rsp())
+
+        return self.env.process(_run())
+
+    def launch(self, flops: float, bytes_accessed: float, occupancy: float = 1.0, tag: str = "") -> Event:
+        def _run():
+            # Launch has no output params: non-blocking RPC, frontend
+            # continues after marshalling.
+            yield self.env.timeout(self.rpc.marshal_s)
+            self._post(
+                GpuPhase.KL,
+                lambda: self.worker.launch_kernel(
+                    flops, bytes_accessed, occupancy, tag=tag or self.app_name
+                ),
+                blocking=False,
+            )
+
+        return self.env.process(_run())
+
+    def synchronize(self) -> Event:
+        def _run():
+            env = self.env
+            yield env.timeout(self._req())
+            done = self._post(
+                GpuPhase.DFL, lambda: self.worker.device_synchronize(), blocking=True,
+                gated=False,
+            )
+            yield done
+            yield env.timeout(self._rsp())
+
+        return self.env.process(_run())
+
+
+class StringsSession(ManagedSession):
+    """Design III with full context packing.
+
+    The application's GPU component is a thread in the per-device backend
+    process; its ops ride a dedicated stream (SC/AST), sync memcpys are
+    staged to pinned memory and issued asynchronously (MOT), and device
+    synchronization narrows to the app's own stream (SST).
+    """
+
+    ASYNC_MEMCPY = True
+
+    def __init__(
+        self,
+        *args,
+        packer: Optional[ContextPacker] = None,
+        mot_enabled: bool = True,
+        sst_enabled: bool = True,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self._packer = packer
+        self.packed: Optional[PackedApp] = None
+        #: Ablation switches: disable the Memory Operation Translator
+        #: (sync pageable memcpys, like Rain) or the Sync Stream Translator
+        #: (device-wide synchronization inside the packed context).
+        self.mot_enabled = mot_enabled
+        self.sst_enabled = sst_enabled
+
+    def _set_packer(self, packer: ContextPacker) -> None:
+        self._packer = packer
+
+    def _bind(self):
+        gid = yield from super()._bind()
+        self.packed = self._packer.pack(self.worker, self.tenant_id)
+        return gid
+
+    def _teardown_worker(self) -> None:
+        if self.packed is not None:
+            self._packer.unpack(self.packed)
+        super()._teardown_worker()
+
+    def memcpy(self, nbytes: int, kind: CopyKind) -> Event:
+        if not self.mot_enabled:
+            return self.env.process(self._memcpy_sync(nbytes, kind))
+        if kind is CopyKind.H2D:
+            return self.env.process(self._memcpy_h2d(nbytes))
+        return self.env.process(self._memcpy_d2h(nbytes))
+
+    def _memcpy_sync(self, nbytes: int, kind: CopyKind):
+        """MOT disabled (ablation): native blocking pageable memcpy on the
+        app's stream."""
+        env = self.env
+        yield env.timeout(self._req())
+        if kind is CopyKind.H2D:
+            yield env.timeout(self.rpc.bulk_data_delay(self.network, self._local, nbytes))
+        phase = GpuPhase.H2D if kind is CopyKind.H2D else GpuPhase.D2H
+        done = self._post(
+            phase,
+            lambda: self.worker.memcpy_async(
+                nbytes, kind, stream=self.packed.target_stream(None),
+                pinned=False, tag=self.app_name,
+            ),
+            blocking=True,
+        )
+        yield done
+        if kind is CopyKind.D2H:
+            yield env.timeout(self.rpc.bulk_data_delay(self.network, self._local, nbytes))
+        yield env.timeout(self._rsp())
+
+    def _memcpy_h2d(self, nbytes: int):
+        env = self.env
+        # Frontend: marshal + ship data + MOT stages into pinned memory,
+        # then the app *continues* (sync -> async translation).
+        yield env.timeout(self._req())
+        yield env.timeout(self.rpc.bulk_data_delay(self.network, self._local, nbytes))
+        yield env.timeout(self.rpc.staging_delay(nbytes))
+        self._post(
+            GpuPhase.H2D,
+            lambda: self.packed.memcpy_async_staged(nbytes, CopyKind.H2D, tag=self.app_name),
+            blocking=False,
+        )
+
+    def _memcpy_d2h(self, nbytes: int):
+        env = self.env
+        # D2H has output params: the call must return the data, so it
+        # blocks through device completion and the wire back.
+        yield env.timeout(self._req())
+        done = self._post(
+            GpuPhase.D2H,
+            lambda: self.packed.memcpy_async_staged(nbytes, CopyKind.D2H, tag=self.app_name),
+            blocking=True,
+        )
+        yield done
+        yield env.timeout(self.rpc.bulk_data_delay(self.network, self._local, nbytes))
+        yield env.timeout(self._rsp())
+
+    def launch(self, flops: float, bytes_accessed: float, occupancy: float = 1.0, tag: str = "") -> Event:
+        def _run():
+            yield self.env.timeout(self.rpc.marshal_s)
+            self._post(
+                GpuPhase.KL,
+                lambda: self.worker.launch_kernel(
+                    flops,
+                    bytes_accessed,
+                    occupancy,
+                    stream=self.packed.target_stream(None),
+                    tag=tag or self.app_name,
+                ),
+                blocking=False,
+            )
+
+        return self.env.process(_run())
+
+    def synchronize(self) -> Event:
+        def _run():
+            env = self.env
+            yield env.timeout(self._req())
+            # SST: wait only for this app's own stream.  Any of our ops
+            # still parked at the dispatch gate are covered by waiting on
+            # the last posted op's completion.
+            last = self._last_gpu_op
+            if last is not None and not last.processed:
+                yield last
+            if self.sst_enabled:
+                pending = self.packed.synchronize()
+            else:
+                # SST disabled (ablation): the raw cudaDeviceSynchronize
+                # waits on *every* stream of the packed context — including
+                # the other tenants' outstanding work.
+                pending = self.worker.device_synchronize()
+            yield pending
+            yield env.timeout(self._rsp())
+
+        return self.env.process(_run())
+
+
+__all__ = ["DirectSession", "ManagedSession", "RainSession", "StringsSession"]

@@ -1,0 +1,210 @@
+"""The three runtime systems under evaluation.
+
+* :class:`CudaRuntimeSystem` — the paper's baseline: static provisioning
+  through the bare CUDA runtime (applications keep their programmed
+  device, one process/context per application, no scheduling).
+* :class:`RainSystem` — the authors' earlier scheduler: gPool-wide
+  workload balancing over Design I backends (process per application);
+  optional device-level policies (TFS-Rain, LAS-Rain) and feedback.
+* :class:`StringsSystem` — the paper's contribution: workload balancing +
+  Design III backends + context packing + device-level scheduling +
+  device feedback to the balancer.
+
+A system is constructed once per experiment over a set of nodes and hands
+out one :class:`GpuSession` per application request.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.sim import Environment
+from repro.cluster.network import Network
+from repro.cluster.node import Node
+from repro.remoting.backend import BackendDaemon
+from repro.remoting.rpc import RpcCostModel
+from repro.core.affinity import GpuAffinityMapper
+from repro.core.config import DEFAULT_CONFIG, SchedulerConfig
+from repro.core.feedback import SchedulerFeedbackTable
+from repro.core.gpool import GPool
+from repro.core.gpu_scheduler import GpuScheduler
+from repro.core.packer import ContextPacker
+from repro.core.policies.balancing import BalancingPolicy, GRR
+from repro.core.policies.device import AlwaysAwake, DevicePolicy
+from repro.core.policies.feedback import FeedbackPolicy
+from repro.core.sessions import DirectSession, RainSession, StringsSession
+
+#: Factory for per-device policy instances (each device gets its own loop).
+DevicePolicyFactory = Callable[[], DevicePolicy]
+
+
+class CudaRuntimeSystem:
+    """Baseline: applications statically pick their programmed device."""
+
+    name = "CUDA"
+
+    def __init__(self, env: Environment, nodes: Sequence[Node], network: Optional[Network] = None) -> None:
+        self.env = env
+        self.nodes = list(nodes)
+        self.network = network or Network()
+
+    def session(
+        self,
+        app_name: str,
+        frontend_node: Node,
+        tenant_id: str = "t0",
+        tenant_weight: float = 1.0,
+    ) -> DirectSession:
+        """A native-runtime session on the application's own node."""
+        return DirectSession(self.env, app_name, frontend_node, tenant_id)
+
+
+class _ScheduledSystem:
+    """Shared base of Rain and Strings: pool + mapper + device schedulers."""
+
+    name = "?"
+
+    def __init__(
+        self,
+        env: Environment,
+        nodes: Sequence[Node],
+        network: Optional[Network] = None,
+        balancing: Optional[BalancingPolicy] = None,
+        device_policy: Optional[DevicePolicyFactory] = None,
+        config: SchedulerConfig = DEFAULT_CONFIG,
+        rpc: Optional[RpcCostModel] = None,
+    ) -> None:
+        self.env = env
+        self.nodes = list(nodes)
+        self.network = network or Network()
+        self.rpc = rpc or RpcCostModel()
+        self.config = config
+        self.pool = GPool(self.nodes)
+        self.sft = SchedulerFeedbackTable()
+
+        balancing = balancing if balancing is not None else GRR()
+        if isinstance(balancing, FeedbackPolicy) and balancing.sft is not self.sft:
+            # The policy must read the same SFT the feedback engine fills.
+            balancing.sft = self.sft
+        self.mapper = GpuAffinityMapper(env, self.pool, balancing, sft=self.sft)
+
+        self.daemons: Dict[str, BackendDaemon] = {
+            node.hostname: BackendDaemon(env, node) for node in self.nodes
+        }
+
+        factory = device_policy if device_policy is not None else AlwaysAwake
+        self.schedulers: Dict[int, GpuScheduler] = {}
+        for gid in self.pool.gids():
+            self.schedulers[gid] = GpuScheduler(
+                env,
+                self.pool.device(gid),
+                gid,
+                policy=factory(),
+                config=config,
+                feedback_sink=self.mapper.deliver_feedback,
+            )
+
+    @property
+    def balancing_policy(self) -> BalancingPolicy:
+        """The installed workload-balancing policy."""
+        return self.mapper.policy
+
+    def _daemon_for(self, gid: int) -> BackendDaemon:
+        entry = self.pool.gmap.lookup(gid)
+        return self.daemons[entry.hostname]
+
+    def label(self) -> str:
+        """Experiment label, e.g. ``GWtMin+LAS-Strings``."""
+        dev = next(iter(self.schedulers.values())).policy.name
+        suffix = "" if dev == "none" else f"+{dev}"
+        return f"{self.mapper.policy.name}{suffix}-{self.name}"
+
+
+class RainSystem(_ScheduledSystem):
+    """The authors' earlier Design I scheduler (no context packing)."""
+
+    name = "Rain"
+
+    def session(
+        self,
+        app_name: str,
+        frontend_node: Node,
+        tenant_id: str = "t0",
+        tenant_weight: float = 1.0,
+    ) -> RainSession:
+        """A balanced session backed by a dedicated backend process."""
+
+        def binder(sess, gid: int):
+            entry = self.pool.gmap.lookup(gid)
+            daemon = self._daemon_for(gid)
+            sess.scheduler = self.schedulers[gid]
+            return daemon.design1_worker(app_name, entry.local_id)
+
+        return RainSession(
+            self.env,
+            app_name,
+            frontend_node,
+            self.mapper,
+            self.network,
+            self.rpc,
+            tenant_id=tenant_id,
+            tenant_weight=tenant_weight,
+            binder=binder,
+        )
+
+
+class StringsSystem(_ScheduledSystem):
+    """The paper's contribution: Design III + context packing + feedback.
+
+    ``mot_enabled`` / ``sst_enabled`` are ablation switches for the Memory
+    Operation Translator and Sync Stream Translator (DESIGN.md §5).
+    """
+
+    name = "Strings"
+
+    def __init__(self, *args, mot_enabled: bool = True, sst_enabled: bool = True, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.mot_enabled = mot_enabled
+        self.sst_enabled = sst_enabled
+        #: One Context Packer (and PMT) per device.
+        self.packers: Dict[int, ContextPacker] = {
+            gid: ContextPacker() for gid in self.pool.gids()
+        }
+
+    def session(
+        self,
+        app_name: str,
+        frontend_node: Node,
+        tenant_id: str = "t0",
+        tenant_weight: float = 1.0,
+    ) -> StringsSession:
+        """A packed session: backend thread in the per-GPU process."""
+
+        def binder(sess, gid: int):
+            entry = self.pool.gmap.lookup(gid)
+            daemon = self._daemon_for(gid)
+            sess.scheduler = self.schedulers[gid]
+            sess._set_packer(self.packers[gid])
+            return daemon.design3_worker(app_name, entry.local_id)
+
+        return StringsSession(
+            self.env,
+            app_name,
+            frontend_node,
+            self.mapper,
+            self.network,
+            self.rpc,
+            tenant_id=tenant_id,
+            tenant_weight=tenant_weight,
+            binder=binder,
+            mot_enabled=self.mot_enabled,
+            sst_enabled=self.sst_enabled,
+        )
+
+
+__all__ = [
+    "CudaRuntimeSystem",
+    "DevicePolicyFactory",
+    "RainSystem",
+    "StringsSystem",
+]

@@ -1,0 +1,25 @@
+"""Simulated CUDA runtime API.
+
+This is the only interface through which application code (and the Strings
+backend workers) touch simulated GPUs.  It mirrors the CUDA runtime
+semantics the paper depends on:
+
+* device selection is per host *thread* (``cudaSetDevice``);
+* GPU contexts are created lazily, **one per host process per device**
+  (CUDA >= 4.0) — so threads of one process share a context and their work
+  can overlap on the device, while separate processes' contexts are
+  time-multiplexed by the driver;
+* ``cudaMemcpy`` is synchronous; ``cudaMemcpyAsync`` requires page-locked
+  host memory and overlaps with kernels on other streams;
+* kernel launches are asynchronous;
+* ``cudaDeviceSynchronize`` waits for **all** streams of the calling
+  process's context on the current device — which is exactly why Strings'
+  Sync Stream Translator must rewrite it to ``cudaStreamSynchronize`` once
+  several tenants share one context;
+* ``cudaThreadExit`` tears down the calling thread's bindings.
+"""
+
+from repro.cuda.errors import CudaError, CudaErrorCode
+from repro.cuda.runtime import CudaThread, HostProcess
+
+__all__ = ["CudaError", "CudaErrorCode", "CudaThread", "HostProcess"]

@@ -1,0 +1,36 @@
+"""CUDA-runtime style error codes and exception type."""
+
+from __future__ import annotations
+
+import enum
+
+
+class CudaErrorCode(enum.IntEnum):
+    """Subset of ``cudaError_t`` values used by the simulated runtime."""
+
+    SUCCESS = 0
+    MEMORY_ALLOCATION = 2
+    INVALID_VALUE = 11
+    INVALID_DEVICE_POINTER = 17
+    INVALID_RESOURCE_HANDLE = 33
+    NO_DEVICE = 38
+    INVALID_DEVICE = 101
+
+
+class CudaError(RuntimeError):
+    """A failed simulated CUDA runtime call.
+
+    The Strings backend catches these and marshals :attr:`code` back to the
+    frontend as the call's return value, matching the real interposer which
+    forwards ``cudaError_t`` codes over RPC.
+    """
+
+    def __init__(self, code: CudaErrorCode, message: str = "") -> None:
+        super().__init__(message or code.name)
+        self.code = code
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CudaError({self.code.name}, {self.args[0]!r})"
+
+
+__all__ = ["CudaError", "CudaErrorCode"]

@@ -1,0 +1,53 @@
+"""Command-line entry point: ``python -m repro.harness <experiment>``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness.runner import SCALE_PAPER, SCALE_QUICK
+
+EXPERIMENTS = [
+    "table1", "fig1", "fig2", "fig9", "fig10",
+    "fig11", "fig12", "fig13", "fig14", "fig15",
+]
+
+#: Extensions beyond the paper's evaluation (not part of `all`).
+EXTENSIONS = ["scaleout", "ablations"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=EXPERIMENTS + EXTENSIONS + ["all"],
+        help="which table/figure to regenerate ('all' runs the paper's set)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["quick", "paper"],
+        default="paper",
+        help="experiment size (quick = CI-sized runs)",
+    )
+    args = parser.parse_args(argv)
+    scale = SCALE_QUICK if args.scale == "quick" else SCALE_PAPER
+
+    targets = EXPERIMENTS if args.experiment == "all" else [args.experiment]
+    for name in targets:
+        module = __import__(f"repro.harness.{name}", fromlist=["main"])
+        t0 = time.time()
+        print(f"==== {name} ".ljust(70, "="))
+        if name in ("table1", "fig1"):
+            module.main()
+        else:
+            module.main(scale)
+        print(f"[{name} done in {time.time() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

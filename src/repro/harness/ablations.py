@@ -1,0 +1,202 @@
+"""Ablation experiments for Strings' design choices (DESIGN.md §5).
+
+Quantifies, on fixed workloads, the contribution of each mechanism:
+context packing, the Memory Operation Translator, the Sync Stream
+Translator, the TFS history penalty, the LAS decay constant, the Policy
+Arbiter's cold-start switching, and Design II's head-of-line blocking.
+
+Run:  python -m repro.harness ablations
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.sim import Environment
+from repro.cluster import build_single_gpu_server, build_small_server
+from repro.core import RainSystem, StringsSystem
+from repro.core.arbiter import install_arbiter
+from repro.core.config import SchedulerConfig
+from repro.core.policies import GMin, LAS, MBF, TFS
+from repro.apps import app_by_short, run_request
+from repro.metrics import jains_fairness
+from repro.harness.runner import (
+    ExperimentScale,
+    SCALE_PAPER,
+    closed_loop_shared_run,
+    solo_completion_time,
+)
+
+
+def _makespan(make_system, shorts, testbed=build_small_server) -> float:
+    env = Environment()
+    nodes, net = testbed(env)
+    system = make_system(env, nodes, net)
+    procs = []
+    for i, short in enumerate(shorts):
+        spec = app_by_short(short)
+        sess = system.session(spec.short, nodes[0], tenant_id=f"t{i}")
+        procs.append(env.process(run_request(env, sess, spec)))
+    env.run(until=env.all_of(procs))
+    return max(p.value.finish_s for p in procs)
+
+
+def ablate_context_packing() -> Dict[str, float]:
+    """Design III vs Design I on a mixed 4-request workload."""
+    workload = ["MC", "DC", "MC", "DC"]
+    return {
+        "Strings (packed)": _makespan(
+            lambda e, n, w: StringsSystem(e, n, w, balancing=GMin()), workload
+        ),
+        "Rain (Design I)": _makespan(
+            lambda e, n, w: RainSystem(e, n, w, balancing=GMin()), workload
+        ),
+    }
+
+
+def ablate_mot() -> Dict[str, float]:
+    """Async pinned staging vs sync pageable memcpys (2x MonteCarlo)."""
+    return {
+        "MOT on": _makespan(
+            lambda e, n, w: StringsSystem(e, n, w, balancing=GMin(), mot_enabled=True),
+            ["MC", "MC"],
+        ),
+        "MOT off": _makespan(
+            lambda e, n, w: StringsSystem(e, n, w, balancing=GMin(), mot_enabled=False),
+            ["MC", "MC"],
+        ),
+    }
+
+
+def ablate_sst() -> Dict[str, float]:
+    """Stream-narrowed vs whole-context sync: the short tenant's latency."""
+    out = {}
+    for label, enabled in (("SST on", True), ("SST off", False)):
+        env = Environment()
+        nodes, net = build_single_gpu_server(env)
+        system = StringsSystem(env, nodes, net, balancing=GMin(), sst_enabled=enabled)
+        procs = {}
+        for i, short in enumerate(["DC", "GA"]):
+            spec = app_by_short(short)
+            sess = system.session(spec.short, nodes[0], tenant_id=f"t{i}")
+            procs[short] = env.process(run_request(env, sess, spec))
+        env.run(until=env.all_of(list(procs.values())))
+        out[label] = procs["GA"].value.completion_s
+    return out
+
+
+def ablate_tfs_history(window_s: float = 60.0) -> Dict[str, float]:
+    """Jain fairness with and without the TFS overshoot history."""
+    out = {}
+    for label, history in (("history on", True), ("history off", False)):
+        cfg = SchedulerConfig(tfs_history_penalty=history)
+
+        def factory(env, nodes, net, c=cfg):
+            return StringsSystem(
+                env, nodes, net, balancing=GMin(), device_policy=TFS, config=c
+            )
+
+        apps = [app_by_short("DC"), app_by_short("MC")]
+        solo = {
+            a.short: solo_completion_time(factory, a, build_single_gpu_server)
+            for a in apps
+        }
+        shared = closed_loop_shared_run(
+            factory, apps, build_single_gpu_server, window_s=window_s
+        )
+        out[label] = jains_fairness(
+            [solo[a.short] / shared[a.short] for a in apps]
+        )
+    return out
+
+
+def ablate_las_k(window_s: float = 60.0) -> Dict[str, Dict[str, float]]:
+    """Per-app completion under LAS for several decay constants."""
+    out: Dict[str, Dict[str, float]] = {}
+    for k in (0.2, 0.5, 0.8, 1.0):
+        cfg = SchedulerConfig(las_k=k)
+
+        def factory(env, nodes, net, c=cfg):
+            return StringsSystem(
+                env, nodes, net, balancing=GMin(), device_policy=LAS, config=c
+            )
+
+        # Five tenants (> the 3 wake slots) so the LAS priority actually
+        # excludes someone and the decay constant matters.
+        out[f"k={k}"] = closed_loop_shared_run(
+            factory,
+            [app_by_short(a) for a in ("DC", "HI", "MM", "BS", "GA")],
+            build_single_gpu_server,
+            window_s=window_s,
+        )
+    return out
+
+
+def ablate_arbiter_cold_start() -> Dict[str, object]:
+    """Dynamic policy switching: profiles needed before MBF takes over."""
+    env = Environment()
+    nodes, net = build_small_server(env)
+    system = StringsSystem(env, nodes, net, balancing=GMin())
+    arbiter = install_arbiter(
+        system, GMin(), MBF(system.sft), min_profiles=3, min_distinct_apps=2
+    )
+    procs = []
+    for i, short in enumerate(["BS", "GA", "BS", "GA", "BS", "GA"]):
+        spec = app_by_short(short)
+        sess = system.session(spec.short, nodes[0], tenant_id=f"t{i}")
+        procs.append(env.process(run_request(env, sess, spec)))
+    env.run(until=env.all_of(procs))
+    return {
+        "switched": arbiter.switched,
+        "switched_at_profile": arbiter.switched_at_profile,
+        "transitions": arbiter.transitions,
+    }
+
+
+def run(scale: ExperimentScale = SCALE_PAPER) -> Dict[str, object]:
+    """All ablations; returns a nested dict of results."""
+    return {
+        "context_packing_makespan_s": ablate_context_packing(),
+        "mot_makespan_s": ablate_mot(),
+        "sst_short_tenant_completion_s": ablate_sst(),
+        "tfs_history_fairness": ablate_tfs_history(scale.fairness_window_s / 2),
+        "las_k_completions_s": ablate_las_k(scale.fairness_window_s / 2),
+        "arbiter_cold_start": ablate_arbiter_cold_start(),
+    }
+
+
+def main(scale: ExperimentScale = SCALE_PAPER) -> str:
+    data = run(scale)
+    lines: List[str] = ["Ablations — contribution of each Strings mechanism", ""]
+
+    for title, key, unit in (
+        ("Context packing (makespan, 2xMC + 2xDC)", "context_packing_makespan_s", "s"),
+        ("Memory Operation Translator (makespan, 2xMC)", "mot_makespan_s", "s"),
+        ("Sync Stream Translator (GA completion next to DC)", "sst_short_tenant_completion_s", "s"),
+        ("TFS history penalty (Jain fairness)", "tfs_history_fairness", ""),
+    ):
+        block = data[key]
+        lines.append(title)
+        for label, value in block.items():
+            lines.append(f"  {label:18s} {value:8.3f}{unit}")
+        lines.append("")
+
+    lines.append("LAS decay constant k (per-app mean completion, 5 tenants)")
+    for k, shared in data["las_k_completions_s"].items():
+        cells = "  ".join(f"{a} {t:7.2f}s" for a, t in sorted(shared.items()))
+        lines.append(f"  {k:6s} {cells}")
+    lines.append("")
+
+    cold = data["arbiter_cold_start"]
+    lines.append(
+        "Policy Arbiter cold start: switched="
+        f"{cold['switched']} at profile {cold['switched_at_profile']} "
+        f"(transitions {cold['transitions']})"
+    )
+    out = "\n".join(lines)
+    print(out)
+    return out
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,57 @@
+"""Figure 13 — GPU scheduling benefit in isolation.
+
+Same paired workloads as Fig. 12, but the baseline is GRR with all four
+supernode GPUs shared (same family), so the bars isolate the device-level
+scheduling policy's contribution from the sharing benefit.
+
+Paper averages: LAS-Rain 1.40x, LAS-Strings 1.95x, PS-Strings 1.90x.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.workloads import PAIRS
+from repro.harness.format import format_table
+from repro.harness.pairsweep import family_of, pair_speedup_sweep
+from repro.harness.runner import ExperimentScale, SCALE_PAPER
+
+POLICIES = ["LAS-Rain", "LAS-Strings", "PS-Strings"]
+
+PAPER_AVERAGES = {"LAS-Rain": 1.40, "LAS-Strings": 1.95, "PS-Strings": 1.90}
+
+
+def run(
+    scale: ExperimentScale = SCALE_PAPER,
+    pair_labels: Sequence[str] = tuple(PAIRS),
+    policies: Sequence[str] = tuple(POLICIES),
+) -> Dict[str, Dict[str, float]]:
+    return pair_speedup_sweep(
+        policies,
+        scale,
+        tag="fig13",
+        baseline_policy_for=lambda p: f"GRR-{family_of(p)}",
+        baseline_split_nodes=True,  # 4-GPU-shared GRR baseline
+        pair_labels=pair_labels,
+    )
+
+
+def main(scale: ExperimentScale = SCALE_PAPER) -> str:
+    data = run(scale)
+    labels = list(PAIRS)
+    rows: List[list] = [
+        [p] + [data[p][l] for l in labels] + [data[p]["avg"], PAPER_AVERAGES[p]]
+        for p in POLICIES
+    ]
+    out = format_table(
+        ["Policy"] + labels + ["AVG", "AVG(paper)"],
+        rows,
+        title="Fig. 13 — GPU scheduling benefit alone "
+              "(vs 4-GPU-shared GRR of the same family)",
+    )
+    print(out)
+    return out
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,55 @@
+"""Plain-text table/series formatting for harness output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    floatfmt: str = "{:.2f}",
+) -> str:
+    """Render an aligned plain-text table."""
+
+    def cell(v: object) -> str:
+        if isinstance(v, float):
+            return floatfmt.format(v)
+        return str(v)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    label: str,
+    xs: Sequence[object],
+    ys: Sequence[float],
+    y_fmt: str = "{:.2f}",
+) -> str:
+    """Render an (x, y) series on one labelled line."""
+    pairs = " ".join(f"{x}:{y_fmt.format(y)}" for x, y in zip(xs, ys))
+    return f"{label}: {pairs}"
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (used nowhere the paper uses arithmetic means)."""
+    import numpy as np
+
+    arr = np.asarray(values, dtype=float)
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+__all__ = ["format_series", "format_table", "geomean"]

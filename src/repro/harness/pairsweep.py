@@ -1,0 +1,114 @@
+"""Shared machinery for the paired-workload supernode figures (12, 13, 14, 15)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.rng import RandomStream
+from repro.cluster import build_paper_supernode, build_small_server
+from repro.metrics import mean_completion_s
+from repro.workloads import PAIRS, exponential_stream, pair_apps
+from repro.harness.runner import (
+    ExperimentScale,
+    run_stream_experiment,
+    system_factories,
+)
+
+
+def pair_streams(label: str, scale: ExperimentScale, split_nodes: bool, tag: str):
+    """Long-app stream to node 0, short-app stream to node 1 (or both to
+    node 0 for single-node baselines)."""
+    app_a, app_b = pair_apps(label)
+    rng = RandomStream(scale.seed, tag, label)
+    stream_a = exponential_stream(
+        app_a, rng.spawn("A"), scale.requests_per_stream, scale.pair_load_factor,
+        node_index=0, tenant_id="tenantA",
+    )
+    stream_b = exponential_stream(
+        app_b, rng.spawn("B"), scale.requests_per_stream, scale.pair_load_factor,
+        node_index=1 if split_nodes else 0, tenant_id="tenantB",
+    )
+    return [stream_a, stream_b]
+
+
+def family_of(policy: str) -> str:
+    """'Rain' or 'Strings'."""
+    return "Rain" if policy.endswith("Rain") else "Strings"
+
+
+def pair_speedup_sweep(
+    policies: Sequence[str],
+    scale: ExperimentScale,
+    tag: str,
+    baseline_policy_for: Callable[[str], str],
+    baseline_split_nodes: bool,
+    pair_labels: Sequence[str] = tuple(PAIRS),
+    prewarm: bool = False,
+    extra_systems: Sequence[str] = (),
+) -> Dict[str, Dict[str, float]]:
+    """Run ``policies`` on the supernode against per-family baselines.
+
+    Parameters
+    ----------
+    baseline_policy_for:
+        Maps a policy label to its baseline system label (e.g. always
+        ``GRR-Strings`` for single-node GRR baselines).
+    baseline_split_nodes:
+        False = baseline runs both streams on the small server (single-
+        node GRR baseline of Figs. 10/12/14/15); True = baseline runs on
+        the supernode too (the 4-GPU-shared GRR baseline of Fig. 13).
+    prewarm:
+        Seed the SFT of the policy systems (feedback figures).
+    extra_systems:
+        Additional systems to measure and report as absolute mean
+        completion times under key ``_means`` (e.g. the bare CUDA runtime
+        for Fig. 15's headline).
+    """
+    factories = system_factories()
+    speedups: Dict[str, Dict[str, float]] = {p: {} for p in policies}
+    means: Dict[str, Dict[str, float]] = {s: {} for s in (*policies, *extra_systems)}
+
+    for label in pair_labels:
+        base_means: Dict[str, float] = {}
+        for policy in policies:
+            base_label = baseline_policy_for(policy)
+            if base_label not in base_means:
+                base = run_stream_experiment(
+                    factories[base_label],
+                    pair_streams(label, scale, split_nodes=baseline_split_nodes, tag=tag),
+                    build_paper_supernode if baseline_split_nodes else build_small_server,
+                    label=f"{base_label}-baseline",
+                )
+                base_means[base_label] = mean_completion_s(base.results)
+
+            res = run_stream_experiment(
+                factories[policy],
+                pair_streams(label, scale, split_nodes=True, tag=tag),
+                build_paper_supernode,
+                label=policy,
+                prewarm=prewarm,
+            )
+            mean = mean_completion_s(res.results)
+            means[policy][label] = mean
+            speedups[policy][label] = base_means[baseline_policy_for(policy)] / mean
+
+        for system in extra_systems:
+            res = run_stream_experiment(
+                factories[system],
+                pair_streams(label, scale, split_nodes=True, tag=tag),
+                build_paper_supernode,
+                label=system,
+            )
+            means[system][label] = mean_completion_s(res.results)
+
+    for policy in policies:
+        speedups[policy]["avg"] = float(
+            np.mean([speedups[policy][l] for l in pair_labels])
+        )
+    speedups["_means"] = means  # type: ignore[assignment]
+    return speedups
+
+
+__all__ = ["family_of", "pair_speedup_sweep", "pair_streams"]

@@ -1,0 +1,309 @@
+"""Generic experiment machinery shared by every figure runner."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.sim import Environment
+from repro.sim.rng import RandomStream
+from repro.cluster import Network, Node
+from repro.apps.models import AppSpec, RequestResult, run_request
+from repro.apps.catalog import REFERENCE_SPEC
+from repro.core.feedback import AppProfile
+from repro.core.policies import (
+    DTF,
+    GMin,
+    GRR,
+    GUF,
+    GWtMin,
+    LAS,
+    MBF,
+    PS,
+    RTF,
+    TFS,
+)
+from repro.core.systems import CudaRuntimeSystem, RainSystem, StringsSystem
+from repro.workloads.streams import Request, RequestStream
+
+#: (env, nodes, network) -> system with a ``.session(...)`` method.
+SystemFactory = Callable[[Environment, List[Node], Network], object]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Size knobs of a harness run.
+
+    ``requests_per_stream`` is the number of end-user requests per node
+    stream; ``load_factor`` dials the offered load (requests per solo
+    runtime); ``fairness_window_s`` bounds the closed-loop fairness runs.
+    """
+
+    requests_per_stream: int = 20
+    load_factor: float = 1.6
+    #: Offered load of the paired-workload supernode experiments
+    #: (Figs. 10, 12-15).  Deliberately higher: spread over four GPUs, the
+    #: per-device multi-tenancy must reach the regime in which device-level
+    #: scheduling and feedback collocation have decisions to make (3-6
+    #: tenants per GPU, matching the paper's burst-and-queue service model).
+    pair_load_factor: float = 6.0
+    fairness_window_s: float = 120.0
+    seed: int = 42
+
+    def scaled(self, **kw) -> "ExperimentScale":
+        return replace(self, **kw)
+
+
+SCALE_PAPER = ExperimentScale()
+SCALE_QUICK = ExperimentScale(requests_per_stream=6, fairness_window_s=45.0)
+
+
+# --------------------------------------------------------------------------
+# System factory registry
+# --------------------------------------------------------------------------
+
+
+def system_factories() -> Dict[str, SystemFactory]:
+    """Named factories for every system/policy combination the paper runs.
+
+    Names follow the paper's labels, e.g. ``GMin-Strings``,
+    ``GWtMin+LAS-Strings``, ``RTF-Rain``, ``MBF-Strings``.
+    """
+
+    def cuda(env, nodes, net):
+        return CudaRuntimeSystem(env, nodes, net)
+
+    def rain(balancing, device=None):
+        def make(env, nodes, net):
+            return RainSystem(env, nodes, net, balancing=balancing(), device_policy=device)
+
+        return make
+
+    def strings(balancing, device=None):
+        def make(env, nodes, net):
+            return StringsSystem(env, nodes, net, balancing=balancing(), device_policy=device)
+
+        return make
+
+    def rain_fb(policy_cls, device=None):
+        def make(env, nodes, net):
+            sys_ = RainSystem(env, nodes, net, balancing=GMin(), device_policy=device)
+            sys_.mapper.policy = policy_cls(sys_.sft, fallback=GMin())
+            return sys_
+
+        return make
+
+    def strings_fb(policy_cls, device=None):
+        def make(env, nodes, net):
+            sys_ = StringsSystem(env, nodes, net, balancing=GMin(), device_policy=device)
+            sys_.mapper.policy = policy_cls(sys_.sft, fallback=GMin())
+            return sys_
+
+        return make
+
+    return {
+        "CUDA": cuda,
+        # -- workload balancing (Fig. 9 / 10) --------------------------------
+        "GRR-Rain": rain(GRR),
+        "GMin-Rain": rain(GMin),
+        "GWtMin-Rain": rain(GWtMin),
+        "GRR-Strings": strings(GRR),
+        "GMin-Strings": strings(GMin),
+        "GWtMin-Strings": strings(GWtMin),
+        # -- device-level scheduling (Figs. 11-13) -----------------------------
+        "TFS-Rain": rain(GMin, device=TFS),
+        "TFS-Strings": strings(GMin, device=TFS),
+        "GWtMin+LAS-Rain": rain(GWtMin, device=LAS),
+        "GWtMin+LAS-Strings": strings(GWtMin, device=LAS),
+        "GWtMin+PS-Strings": strings(GWtMin, device=PS),
+        "LAS-Rain": rain(GRR, device=LAS),
+        "LAS-Strings": strings(GRR, device=LAS),
+        "PS-Strings": strings(GRR, device=PS),
+        # -- feedback-based balancing (Figs. 14-15) -------------------------------
+        "RTF-Rain": rain_fb(RTF),
+        "GUF-Rain": rain_fb(GUF),
+        "RTF-Strings": strings_fb(RTF),
+        "GUF-Strings": strings_fb(GUF),
+        "DTF-Strings": strings_fb(DTF),
+        "MBF-Strings": strings_fb(MBF),
+    }
+
+
+# --------------------------------------------------------------------------
+# Stream experiments (open-loop arrivals)
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class StreamRunResult:
+    """Outcome of one stream experiment."""
+
+    label: str
+    results: List[RequestResult]
+    sim_time_s: float
+    wall_time_s: float
+
+    def per_app(self) -> Dict[str, List[RequestResult]]:
+        out: Dict[str, List[RequestResult]] = {}
+        for r in self.results:
+            out.setdefault(r.app, []).append(r)
+        return out
+
+
+def run_stream_experiment(
+    factory: SystemFactory,
+    streams: Sequence[RequestStream],
+    testbed: Callable[[Environment], Tuple[List[Node], Network]],
+    label: str = "",
+    prewarm: bool = False,
+) -> StreamRunResult:
+    """Run request streams (one per node index) through a system.
+
+    Each request becomes a simulation process that waits for its arrival
+    time, opens a session on its node and drives :func:`run_request`.
+    ``prewarm=True`` seeds the system's SFT with analytic solo profiles
+    (the "system has seen this application before" steady state of the
+    feedback experiments).
+    """
+    wall0 = time.time()
+    env = Environment()
+    nodes, network = testbed(env)
+    system = factory(env, nodes, network)
+
+    if prewarm:
+        prewarm_sft(system)
+
+    collected: List[RequestResult] = []
+    procs = []
+
+    def launcher(req: Request):
+        if req.arrival_s > env.now:
+            yield env.timeout(req.arrival_s - env.now)
+        node = nodes[min(req.node_index, len(nodes) - 1)]
+        session = system.session(
+            req.app.short, node, tenant_id=req.tenant_id, tenant_weight=req.tenant_weight
+        )
+        result = yield env.process(
+            run_request(env, session, req.app, arrival_s=req.arrival_s)
+        )
+        collected.append(result)
+
+    for stream in streams:
+        for req in stream:
+            procs.append(env.process(launcher(req), name=f"req:{req.app.short}"))
+
+    env.run(until=env.all_of(procs))
+    return StreamRunResult(
+        label=label,
+        results=collected,
+        sim_time_s=env.now,
+        wall_time_s=time.time() - wall0,
+    )
+
+
+def prewarm_sft(system) -> None:
+    """Seed a scheduled system's SFT with analytic solo profiles.
+
+    Models the steady state in which the Policy Arbiter has already
+    received feedback for every catalog application (paper: "decisions
+    are refined over time as the system learns").  No-op for systems
+    without an SFT (the CUDA baseline).
+    """
+    mapper = getattr(system, "mapper", None)
+    if mapper is None:
+        return
+    from repro.apps.catalog import ALL_APPS
+
+    for app in ALL_APPS:
+        runtime = app.solo_runtime_s(REFERENCE_SPEC)
+        gpu_time = app.iterations * app.kernel_solo_s(REFERENCE_SPEC)
+        transfer = app.iterations * app.transfer_solo_s(REFERENCE_SPEC)
+        mapper.deliver_feedback(
+            AppProfile(
+                app_name=app.short,
+                runtime_s=runtime,
+                gpu_time_s=gpu_time,
+                transfer_time_s=transfer,
+                bytes_accessed_gb=app.iterations * app.kernel_bytes_gb,
+            )
+        )
+
+
+# --------------------------------------------------------------------------
+# Solo references and closed-loop sharing (fairness experiments)
+# --------------------------------------------------------------------------
+
+
+def solo_completion_time(
+    factory: SystemFactory,
+    app: AppSpec,
+    testbed: Callable[[Environment], Tuple[List[Node], Network]],
+) -> float:
+    """Completion time of one request running *alone* under a system."""
+    env = Environment()
+    nodes, network = testbed(env)
+    system = factory(env, nodes, network)
+    session = system.session(app.short, nodes[0])
+    proc = env.process(run_request(env, session, app))
+    result = env.run(until=proc)
+    return result.completion_s
+
+
+def closed_loop_shared_run(
+    factory: SystemFactory,
+    apps: Sequence[AppSpec],
+    testbed: Callable[[Environment], Tuple[List[Node], Network]],
+    window_s: float,
+    tenant_weights: Optional[Sequence[float]] = None,
+) -> Dict[str, float]:
+    """Run one instance of each app back-to-back for ``window_s`` on a
+    shared testbed; returns each app's mean per-request completion time.
+
+    This is the fairness rig of paper Fig. 11: application pairs share a
+    single GPU with pre-defined (equal) tenant shares.
+    """
+    env = Environment()
+    nodes, network = testbed(env)
+    system = factory(env, nodes, network)
+    weights = list(tenant_weights) if tenant_weights else [1.0] * len(apps)
+    times: Dict[str, List[float]] = {a.short: [] for a in apps}
+
+    def loop(app: AppSpec, weight: float, tenant: str):
+        while env.now < window_s:
+            session = system.session(
+                app.short, nodes[0], tenant_id=tenant, tenant_weight=weight
+            )
+            result = yield env.process(run_request(env, session, app))
+            times[app.short].append(result.completion_s)
+
+    procs = [
+        env.process(loop(app, w, f"tenant{i}"), name=f"loop:{app.short}")
+        for i, (app, w) in enumerate(zip(apps, weights))
+    ]
+    env.run(until=env.all_of(procs))
+
+    out: Dict[str, float] = {}
+    for app in apps:
+        samples = times[app.short]
+        if not samples:
+            # The app never completed a request inside the window: charge
+            # the whole window as its (censored) completion time.
+            out[app.short] = window_s
+        else:
+            out[app.short] = sum(samples) / len(samples)
+    return out
+
+
+__all__ = [
+    "ExperimentScale",
+    "SCALE_PAPER",
+    "SCALE_QUICK",
+    "StreamRunResult",
+    "SystemFactory",
+    "closed_loop_shared_run",
+    "prewarm_sft",
+    "run_stream_experiment",
+    "solo_completion_time",
+    "system_factories",
+]

@@ -1,0 +1,102 @@
+"""Extension experiment — gPool scale-out beyond the paper's two nodes.
+
+The paper builds its supernode from exactly two machines and notes that
+GPU remoting "at scale" (network contention, many nodes) is future work
+(Section III.A / VII).  This extension sweeps the supernode size from one
+to ``max_nodes`` dual-GPU nodes under a fixed aggregate workload and
+reports how mean completion time and speedup scale — including the
+diminishing returns once the workload stops being GPU-bound and the
+remote-transfer share grows.
+
+Run:  python -m repro.harness scaleout
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.sim import Environment
+from repro.sim.rng import RandomStream
+from repro.cluster import Network, Node
+from repro.simgpu.specs import NODE_A_DEVICES
+from repro.core.policies import GMin
+from repro.core.systems import StringsSystem
+from repro.metrics import mean_completion_s
+from repro.workloads import exponential_stream
+from repro.apps import app_by_short
+from repro.harness.format import format_table
+from repro.harness.runner import (
+    ExperimentScale,
+    SCALE_PAPER,
+    run_stream_experiment,
+)
+
+#: Mixed aggregate workload: a long compute app, a bandwidth hog and a
+#: short transfer-heavy app, all arriving at node 0.
+WORKLOAD = ("DC", "HI", "MC")
+
+
+def build_n_node_cluster(n: int):
+    """A testbed factory for ``n`` dual-GPU nodes (NodeA hardware each)."""
+
+    def build(env: Environment, trace: bool = True) -> Tuple[List[Node], Network]:
+        nodes = [
+            Node(env, NODE_A_DEVICES, hostname=f"node{i}", trace=trace)
+            for i in range(n)
+        ]
+        return nodes, Network()
+
+    return build
+
+
+def run(scale: ExperimentScale = SCALE_PAPER, max_nodes: int = 4) -> Dict[int, Dict[str, float]]:
+    """mean completion time and speedup vs the 1-node deployment."""
+    out: Dict[int, Dict[str, float]] = {}
+    base_mean = None
+    for n in range(1, max_nodes + 1):
+        def factory(env, nodes, net):
+            return StringsSystem(env, nodes, net, balancing=GMin())
+
+        rng = RandomStream(scale.seed, "scaleout")
+        streams = [
+            exponential_stream(
+                app_by_short(short),
+                rng.spawn(short),
+                scale.requests_per_stream,
+                scale.pair_load_factor,
+                node_index=0,
+            )
+            for short in WORKLOAD
+        ]
+        res = run_stream_experiment(
+            factory, streams, build_n_node_cluster(n), label=f"{n}-node"
+        )
+        mean = mean_completion_s(res.results)
+        if base_mean is None:
+            base_mean = mean
+        out[n] = {
+            "gpus": 2 * n,
+            "mean_completion_s": mean,
+            "speedup_vs_1node": base_mean / mean,
+        }
+    return out
+
+
+def main(scale: ExperimentScale = SCALE_PAPER) -> str:
+    data = run(scale)
+    rows = [
+        [n, d["gpus"], d["mean_completion_s"], d["speedup_vs_1node"]]
+        for n, d in sorted(data.items())
+    ]
+    out = format_table(
+        ["Nodes", "GPUs", "Mean completion (s)", "Speedup vs 1 node"],
+        rows,
+        title="Scale-out extension — GMin-Strings over growing gPools "
+              "(fixed aggregate workload arriving at node 0)",
+    )
+    print(out)
+    return out
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

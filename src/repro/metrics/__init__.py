@@ -1,0 +1,22 @@
+"""Evaluation metrics (paper Section V.A).
+
+* :func:`weighted_speedup` — paper eq. 2 (Snavely & Tullsen);
+* :func:`jains_fairness` — paper eq. 3 (Jain's index);
+* summary helpers over request-result collections.
+"""
+
+from repro.metrics.measures import (
+    jains_fairness,
+    mean_completion_s,
+    per_app_mean_completion,
+    relative_speedup,
+    weighted_speedup,
+)
+
+__all__ = [
+    "jains_fairness",
+    "mean_completion_s",
+    "per_app_mean_completion",
+    "relative_speedup",
+    "weighted_speedup",
+]

@@ -1,0 +1,82 @@
+"""Throughput and fairness measures.
+
+Weighted speedup (paper eq. 2, after Snavely & Tullsen [22])::
+
+    WS = (1/n) * sum_i T_alone_i / T_shared_i
+
+with ``T_alone`` the application's solo time under the baseline and
+``T_shared`` its time under the evaluated policy.  A relative-speedup
+variant over mean completion times is used for the per-app request-stream
+figures, matching the paper's "average completion time of all requests
+served ... compared with the different policies (relative speedup)".
+
+Jain's fairness (paper eq. 3, [24])::
+
+    J = (sum_i x_i)^2 / (n * sum_i x_i^2)
+
+over per-application normalized progress rates.  J = 1 is perfectly fair;
+J = 1/n is maximally unfair.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.apps.models import RequestResult
+
+
+def weighted_speedup(alone_s: Sequence[float], shared_s: Sequence[float]) -> float:
+    """Paper eq. 2 over paired per-application times."""
+    alone = np.asarray(alone_s, dtype=float)
+    shared = np.asarray(shared_s, dtype=float)
+    if alone.shape != shared.shape or alone.size == 0:
+        raise ValueError("need equal, non-empty alone/shared vectors")
+    if np.any(shared <= 0):
+        raise ValueError("shared times must be positive")
+    return float(np.mean(alone / shared))
+
+
+def jains_fairness(xs: Sequence[float]) -> float:
+    """Paper eq. 3 over per-application progress values."""
+    x = np.asarray(xs, dtype=float)
+    if x.size == 0:
+        raise ValueError("need at least one value")
+    if np.any(x < 0):
+        raise ValueError("progress values must be non-negative")
+    denom = x.size * float(np.sum(x * x))
+    if denom == 0:
+        return 1.0
+    return float(np.sum(x)) ** 2 / denom
+
+
+def mean_completion_s(results: Iterable[RequestResult]) -> float:
+    """Mean arrival-to-finish time of a request set."""
+    times = [r.completion_s for r in results]
+    if not times:
+        raise ValueError("no results")
+    return float(np.mean(times))
+
+
+def per_app_mean_completion(results: Iterable[RequestResult]) -> Dict[str, float]:
+    """Mean completion time per application short-code."""
+    buckets: Dict[str, List[float]] = defaultdict(list)
+    for r in results:
+        buckets[r.app].append(r.completion_s)
+    return {app: float(np.mean(v)) for app, v in buckets.items()}
+
+
+def relative_speedup(baseline_results, policy_results) -> float:
+    """Ratio of mean completion times: baseline over policy."""
+    return mean_completion_s(baseline_results) / mean_completion_s(policy_results)
+
+
+__all__ = [
+    "jains_fairness",
+    "mean_completion_s",
+    "per_app_mean_completion",
+    "relative_speedup",
+    "weighted_speedup",
+]

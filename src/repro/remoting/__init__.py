@@ -1,0 +1,23 @@
+"""GPU remoting: interposer-side RPC costs and backend worker models.
+
+Strings (like GViM/vCUDA/rCUDA/Pegasus before it) splits every application
+into a frontend — an interposer library that intercepts CUDA runtime calls
+— and a per-node backend daemon that executes them on real GPUs (paper
+Fig. 3).  This package provides:
+
+* :class:`~repro.remoting.rpc.RpcCostModel` — marshalling/dispatch/wire
+  costs of each intercepted call, local (shared memory) or remote (GigE);
+* :class:`~repro.remoting.backend.BackendDaemon` — the per-node daemon,
+  with the paper's three frontend→backend mapping designs (Fig. 5):
+  Design I (process per app — Rain), Design II (single master thread per
+  device), Design III (thread per app inside a per-device process —
+  Strings);
+* :class:`~repro.remoting.session.GpuSession` — the abstract app-facing
+  handle implemented by each runtime system in :mod:`repro.core.systems`.
+"""
+
+from repro.remoting.rpc import RpcCostModel
+from repro.remoting.backend import BackendDaemon, DesignIIMaster
+from repro.remoting.session import GpuSession
+
+__all__ = ["BackendDaemon", "DesignIIMaster", "GpuSession", "RpcCostModel"]

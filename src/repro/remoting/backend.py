@@ -1,0 +1,146 @@
+"""Per-node backend daemons and the three frontend→backend designs.
+
+Paper Fig. 5:
+
+* **Design I** — one backend *process* per frontend application.  Full
+  isolation, but each application gets its own GPU context, so GPU
+  operations from different applications never overlap and every handover
+  pays a context switch.  This is the organisation of the authors' earlier
+  'Rain' scheduler.
+* **Design II** — one backend *master thread* per device hosting all
+  applications' work in one GPU context over CUDA streams.  Maximum
+  sharing, but the single thread serializes call issue and a blocking call
+  from one application stalls every tenant.
+* **Design III (Strings)** — one backend process per device with a
+  *thread per application*, all sharing the process's single GPU context
+  via separate CUDA streams: the sharing of Design II without its
+  head-of-line blocking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim import Environment, Event, Store
+from repro.cluster.node import Node
+from repro.cuda import CudaThread, HostProcess
+
+
+class DesignIIMaster:
+    """The single issue thread of a Design II backend.
+
+    All tenants' call closures funnel through one FIFO; the master executes
+    them in arrival order, *waiting out* blocking calls before touching the
+    next tenant's work — the head-of-line blocking the paper's Design III
+    eliminates.  Kept for the design ablation benchmark.
+    """
+
+    def __init__(self, env: Environment, process: HostProcess, device_index: int) -> None:
+        self.env = env
+        self.process = process
+        self.device_index = device_index
+        self._queue: Store = Store(env)
+        self.calls_served = 0
+        env.process(self._serve(), name=f"design2-master:dev{device_index}")
+
+    def submit(self, call) -> Event:
+        """Enqueue a call closure ``call(thread) -> generator``; returns an
+        event that fires with the call's result once the master ran it."""
+        done = self.env.event()
+        self._queue.put((call, done))
+        return done
+
+    def _serve(self):
+        thread = self.process.spawn_thread()
+        thread.set_device(self.device_index)
+        while True:
+            call, done = yield self._queue.get()
+            try:
+                result = yield self.env.process(call(thread))
+            except Exception as exc:  # noqa: BLE001 - marshalled to caller
+                done.fail(exc)
+                continue
+            self.calls_served += 1
+            done.succeed(result)
+
+
+class BackendDaemon:
+    """The per-node daemon that hosts backend workers.
+
+    The daemon owns one *backend process* per local GPU for Design III
+    bindings, creates throwaway per-application processes for Design I
+    bindings, and reports device information for gPool creation.
+    """
+
+    def __init__(self, env: Environment, node: Node) -> None:
+        self.env = env
+        self.node = node
+        #: Design III: one long-lived host process per local device.
+        self._device_procs: Dict[int, HostProcess] = {}
+        #: Design II: one master thread per local device.
+        self._masters: Dict[int, DesignIIMaster] = {}
+        self.workers_created = 0
+
+    # -- gPool support ----------------------------------------------------
+
+    def device_info(self) -> List[Tuple[str, int, object]]:
+        """(hostname, local_id, spec) for every local GPU — what each
+        backend sends to the gPool Creator at start-up."""
+        return [
+            (self.node.hostname, i, dev.spec) for i, dev in enumerate(self.node.devices)
+        ]
+
+    # -- Design I ------------------------------------------------------------
+
+    def design1_worker(self, app_name: str, local_device: int) -> CudaThread:
+        """A dedicated backend process (own GPU context) for one app."""
+        proc = HostProcess(
+            self.env, self.node.devices, name=f"{self.node.hostname}/bp-{app_name}"
+        )
+        thread = proc.spawn_thread()
+        thread.set_device(local_device)
+        self.workers_created += 1
+        return thread
+
+    # -- Design II --------------------------------------------------------------
+
+    def design2_master(self, local_device: int) -> DesignIIMaster:
+        """The shared master issue thread for one device."""
+        master = self._masters.get(local_device)
+        if master is None:
+            proc = self._device_process(local_device)
+            master = DesignIIMaster(self.env, proc, local_device)
+            self._masters[local_device] = master
+        return master
+
+    # -- Design III ----------------------------------------------------------------
+
+    def _device_process(self, local_device: int) -> HostProcess:
+        proc = self._device_procs.get(local_device)
+        if proc is None:
+            proc = HostProcess(
+                self.env,
+                self.node.devices,
+                name=f"{self.node.hostname}/bp-dev{local_device}",
+            )
+            self._device_procs[local_device] = proc
+        return proc
+
+    def design3_worker(self, app_name: str, local_device: int) -> CudaThread:
+        """A backend *thread* in the per-device process: shares that
+        process's single GPU context with every co-located tenant."""
+        proc = self._device_process(local_device)
+        thread = proc.spawn_thread()
+        thread.set_device(local_device)
+        self.workers_created += 1
+        return thread
+
+    def resident_tenants(self, local_device: int) -> int:
+        """Live Design III worker threads bound to ``local_device``."""
+        proc = self._device_procs.get(local_device)
+        if proc is None:
+            return 0
+        return sum(1 for t in proc.threads if not t.exited)
+
+
+__all__ = ["BackendDaemon", "DesignIIMaster"]

@@ -1,0 +1,65 @@
+"""Cost model of the interposer → backend RPC path.
+
+Each intercepted CUDA call pays: marshalling at the frontend, a channel
+hop (shared-memory queue locally, GigE remotely), unmarshalling + dispatch
+at the backend, and the reverse path for the response.  Bulk memcpy
+payloads additionally pay a per-byte wire cost when the target GPU is on a
+remote node — this is what makes remote GPUs "more expensive to access"
+(the GMin tie-break) and what the asynchrony optimisations of Section
+III.B.2 hide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.network import Network
+
+
+@dataclass(frozen=True)
+class RpcCostModel:
+    """Fixed per-call CPU costs of the interposition machinery.
+
+    Attributes
+    ----------
+    marshal_s / unmarshal_s:
+        Packing/unpacking a call's id + parameters (paper Fig. 3).
+    dispatch_s:
+        Backend daemon demultiplexing + invoking the real CUDA call.
+    pinned_staging_gbps:
+        Host-side bandwidth of copying an application buffer into the
+        page-locked staging buffer the Memory Operation Translator
+        allocates (a host memcpy).
+    """
+
+    marshal_s: float = 3e-6
+    unmarshal_s: float = 3e-6
+    dispatch_s: float = 2e-6
+    pinned_staging_gbps: float = 12.0
+
+    def request_delay(self, network: Network, local: bool, payload_bytes: int = 128) -> float:
+        """Frontend → backend delay for a control message."""
+        return self.marshal_s + network.message_delay(local, payload_bytes) + self.unmarshal_s + self.dispatch_s
+
+    def response_delay(self, network: Network, local: bool, payload_bytes: int = 64) -> float:
+        """Backend → frontend delay for a return code / output params."""
+        return self.marshal_s + network.message_delay(local, payload_bytes) + self.unmarshal_s
+
+    def roundtrip_delay(self, network: Network, local: bool, payload_bytes: int = 128) -> float:
+        """Full blocking-call overhead excluding GPU execution time."""
+        return self.request_delay(network, local, payload_bytes) + self.response_delay(
+            network, local
+        )
+
+    def bulk_data_delay(self, network: Network, local: bool, nbytes: int) -> float:
+        """Shipping a memcpy payload from frontend to backend (or back)."""
+        return network.transfer_delay(nbytes, local)
+
+    def staging_delay(self, nbytes: int) -> float:
+        """Host-to-pinned-buffer copy performed by the MOT."""
+        if nbytes <= 0:
+            return 0.0
+        return nbytes / (self.pinned_staging_gbps * 1e9)
+
+
+__all__ = ["RpcCostModel"]

@@ -1,0 +1,58 @@
+"""Simulated multi-engine GPU hardware substrate.
+
+This package replaces the physical NVIDIA Fermi GPUs of the paper's testbed
+with a calibrated discrete-event timing model.  It models exactly the
+hardware features the Strings scheduler exploits:
+
+* a **compute engine** shared by concurrently-resident kernels of a single
+  GPU context, with SM-occupancy sharing and memory-bandwidth interference
+  (roofline-style, see :mod:`repro.simgpu.engine`);
+* one or two **copy engines** (H2D / D2H), so data transfers can overlap
+  kernel execution when issued on separate CUDA streams;
+* **per-process GPU contexts** with exclusive residency: work from different
+  contexts is time-multiplexed by the driver with a context-switch penalty,
+  whereas work from one context space-shares the device (the premise of
+  Strings' context packing);
+* pinned vs pageable host memory transfer rates (the premise of the Memory
+  Operation Translator);
+* busy-interval tracing for utilization timelines (paper Figs. 1 and 2).
+
+The four devices of the paper's testbed (Quadro 2000, Tesla C2050,
+Quadro 4000, Tesla C2070) are provided in :mod:`repro.simgpu.specs`.
+"""
+
+from repro.simgpu.specs import (
+    DEVICE_CATALOG,
+    QUADRO_2000,
+    QUADRO_4000,
+    TESLA_C2050,
+    TESLA_C2070,
+    DeviceSpec,
+    device_by_name,
+)
+from repro.simgpu.ops import CopyKind, CopyOp, KernelOp
+from repro.simgpu.engine import CopyEngine, SharedComputeEngine
+from repro.simgpu.context import GpuContext, GpuStream
+from repro.simgpu.device import GpuDevice, GpuOutOfMemoryError
+from repro.simgpu.trace import BusyTracer, utilization_timeline
+
+__all__ = [
+    "BusyTracer",
+    "CopyEngine",
+    "CopyKind",
+    "CopyOp",
+    "DEVICE_CATALOG",
+    "DeviceSpec",
+    "GpuContext",
+    "GpuDevice",
+    "GpuOutOfMemoryError",
+    "GpuStream",
+    "KernelOp",
+    "QUADRO_2000",
+    "QUADRO_4000",
+    "SharedComputeEngine",
+    "TESLA_C2050",
+    "TESLA_C2070",
+    "device_by_name",
+    "utilization_timeline",
+]

@@ -1,0 +1,251 @@
+"""Execution engines of a simulated GPU.
+
+Two engine types exist, mirroring Fermi hardware:
+
+* :class:`SharedComputeEngine` — the SM array.  Kernels belonging to the
+  *resident* context space-share it.  Sharing is modelled as processor
+  sharing with two interference terms (documented in DESIGN.md):
+
+  1. **SM occupancy** — each kernel asks for ``occupancy`` of the SMs; when
+     the sum exceeds 1 every kernel's progress rate is scaled by
+     ``1 / total_occupancy``;
+  2. **memory bandwidth** — if the co-running kernels' combined bandwidth
+     demand exceeds the device's, each kernel is slowed in proportion to
+     its own memory-boundedness (a compute-bound kernel co-runs almost
+     unharmed next to a bandwidth-bound one — the effect MBF exploits,
+     while two bandwidth-bound kernels slow each other down).
+
+  Rates are recomputed at every arrival/departure; kernels carry their
+  remaining *solo-seconds* of work between recomputations.
+
+* :class:`CopyEngine` — a DMA engine.  Transfers are FIFO and exclusive;
+  devices with two engines give H2D and D2H traffic independent queues so
+  copies in both directions and kernel execution can all overlap (the
+  concurrency PS and DTF exploit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.sim import Environment, Event, Resource
+from repro.simgpu.ops import CopyOp, KernelOp
+from repro.simgpu.specs import DeviceSpec
+from repro.simgpu.trace import BusyTracer
+
+_EPS = 1e-12
+
+
+@dataclass
+class _RunningKernel:
+    """Book-keeping for one kernel resident on the compute engine."""
+
+    op: KernelOp
+    remaining: float  # solo-seconds of work left
+    rate: float  # progress in solo-seconds per wall-second
+    done: Event
+    started_at: float
+    solo_time: float
+    boundedness: float  # memory-boundedness on this device
+
+
+class SharedComputeEngine:
+    """Processor-sharing SM array with occupancy + bandwidth interference."""
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: DeviceSpec,
+        tracer: Optional[BusyTracer] = None,
+    ) -> None:
+        self.env = env
+        self.spec = spec
+        self.tracer = tracer
+        self._running: Dict[int, _RunningKernel] = {}
+        self._last_update = env.now
+        self._wakeup: Optional[Event] = None
+        self._proc = env.process(self._control_loop(), name=f"compute:{spec.name}")
+        #: Cumulative busy time (any kernel resident), for utilization stats.
+        self.busy_time = 0.0
+        self._busy_since: Optional[float] = None
+        #: Total kernels completed (diagnostics).
+        self.completed = 0
+
+    # -- public API ---------------------------------------------------------
+
+    @property
+    def active_count(self) -> int:
+        """Number of kernels currently resident."""
+        return len(self._running)
+
+    def execute(self, op: KernelOp) -> Event:
+        """Begin executing ``op``; the returned event triggers on completion.
+
+        Launch latency is folded into the kernel's work so that very small
+        kernels still cost something.
+        """
+        self._advance()
+        solo = op.solo_time(self.spec) + self.spec.kernel_launch_latency_s
+        entry = _RunningKernel(
+            op=op,
+            remaining=solo,
+            rate=1.0,
+            done=self.env.event(),
+            started_at=self.env.now,
+            solo_time=solo,
+            boundedness=op.memory_boundedness(self.spec),
+        )
+        self._running[op.op_id] = entry
+        if self._busy_since is None:
+            self._busy_since = self.env.now
+        if self.tracer is not None:
+            self.tracer.begin(("kernel", op.op_id), self.env.now, tag=op.tag)
+        self._recompute_rates()
+        self._kick()
+        return entry.done
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Fraction of wall time with at least one kernel resident."""
+        now = self.env.now
+        busy = self.busy_time
+        if self._busy_since is not None:
+            busy += now - max(self._busy_since, since)
+        window = now - since
+        return busy / window if window > 0 else 0.0
+
+    # -- interference model ---------------------------------------------------
+
+    def _recompute_rates(self) -> None:
+        entries = list(self._running.values())
+        if not entries:
+            return
+        total_occ = sum(e.op.occupancy for e in entries)
+        sm_rate = 1.0 if total_occ <= 1.0 else 1.0 / total_occ
+
+        # Offered memory-bandwidth load at the SM-limited rates.
+        demand = sum(
+            e.op.achieved_bandwidth_gbps(self.spec) * sm_rate for e in entries
+        )
+        bw = self.spec.mem_bandwidth_gbps
+        scale = 1.0 if demand <= bw else bw / demand
+
+        # Character-collision cost: co-resident kernels additionally thrash
+        # caches/TLBs and the hardware scheduler (see DeviceSpec docs).
+        crowd = 1.0 + self.spec.concurrency_penalty * (len(entries) - 1)
+
+        for e in entries:
+            # A kernel is slowed by memory contention only in proportion to
+            # the fraction of its execution bound on memory.
+            bw_factor = 1.0 - e.boundedness * (1.0 - scale)
+            e.rate = max(sm_rate * bw_factor / crowd, _EPS)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _advance(self) -> None:
+        """Charge elapsed wall time against every running kernel."""
+        now = self.env.now
+        dt = now - self._last_update
+        if dt > 0:
+            for e in self._running.values():
+                e.remaining -= e.rate * dt
+        self._last_update = now
+
+    def _kick(self) -> None:
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+
+    def _control_loop(self):
+        env = self.env
+        while True:
+            if not self._running:
+                if self._busy_since is not None:
+                    self.busy_time += env.now - self._busy_since
+                    self._busy_since = None
+                self._wakeup = env.event()
+                yield self._wakeup
+                self._advance()
+                continue
+
+            horizon = min(e.remaining / e.rate for e in self._running.values())
+            horizon = max(horizon, 0.0)
+            self._wakeup = env.event()
+            yield env.any_of([env.timeout(horizon), self._wakeup])
+            self._advance()
+
+            finished = [
+                e for e in self._running.values() if e.remaining <= _EPS * 10 + 1e-15
+            ]
+            for e in finished:
+                del self._running[e.op.op_id]
+                self.completed += 1
+                if self.tracer is not None:
+                    self.tracer.end(("kernel", e.op.op_id), env.now)
+                e.done.succeed(
+                    {
+                        "op": e.op,
+                        "started_at": e.started_at,
+                        "finished_at": env.now,
+                        "solo_time": e.solo_time,
+                    }
+                )
+            if finished or self._running:
+                self._recompute_rates()
+
+
+class CopyEngine:
+    """A FIFO DMA engine for host/device transfers."""
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: DeviceSpec,
+        label: str,
+        tracer: Optional[BusyTracer] = None,
+    ) -> None:
+        self.env = env
+        self.spec = spec
+        self.label = label
+        self.tracer = tracer
+        self._lane = Resource(env, capacity=1)
+        self.busy_time = 0.0
+        self.completed = 0
+
+    @property
+    def queued(self) -> int:
+        """Transfers waiting for the engine."""
+        return self._lane.queued
+
+    @property
+    def busy(self) -> bool:
+        """True while a transfer occupies the engine."""
+        return self._lane.count > 0
+
+    def execute(self, op: CopyOp) -> Event:
+        """Run ``op`` through the engine; returns its completion event."""
+        return self.env.process(
+            self._run(op), name=f"copy:{self.label}:{op.op_id}"
+        )
+
+    def _run(self, op: CopyOp):
+        env = self.env
+        with self._lane.request() as slot:
+            yield slot
+            start = env.now
+            duration = op.solo_time(self.spec) + self.spec.copy_latency_s
+            if self.tracer is not None:
+                self.tracer.begin(("copy", op.op_id), start, tag=op.tag or self.label)
+            yield env.timeout(duration)
+            if self.tracer is not None:
+                self.tracer.end(("copy", op.op_id), env.now)
+            self.busy_time += env.now - start
+            self.completed += 1
+        return {
+            "op": op,
+            "started_at": start,
+            "finished_at": env.now,
+            "solo_time": duration,
+        }
+
+
+__all__ = ["CopyEngine", "SharedComputeEngine"]

@@ -1,0 +1,129 @@
+"""Work-item descriptions submitted to a simulated GPU.
+
+Applications never build these directly — the simulated CUDA runtime
+(:mod:`repro.cuda`) turns API calls into ops.  A kernel is described by its
+*resource footprint* (flops, bytes of device memory traffic, SM occupancy),
+from which each device derives a solo execution time via the roofline
+model; interference then emerges from engine sharing, not from baked-in
+slowdown factors.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.simgpu.specs import DeviceSpec
+
+_op_ids = itertools.count(1)
+
+
+class CopyKind(enum.Enum):
+    """Direction of a host/device memory copy."""
+
+    H2D = "host-to-device"
+    D2H = "device-to-host"
+    D2D = "device-to-device"
+
+
+@dataclass
+class KernelOp:
+    """A kernel launch.
+
+    Parameters
+    ----------
+    flops:
+        Total floating-point work (GFLOP).  Compute time on device *d* is
+        ``flops / d.peak_gflops`` seconds.
+    bytes_accessed:
+        Total device-memory traffic (GB).  Memory time is
+        ``bytes_accessed / d.mem_bandwidth_gbps`` seconds.
+    occupancy:
+        Fraction of the device's SMs the kernel can fill (0, 1].  Kernels
+        whose summed occupancy is <= 1 co-run without compute slowdown.
+    tag:
+        Free-form label for tracing (app name, kernel name).
+    """
+
+    flops: float
+    bytes_accessed: float
+    occupancy: float = 1.0
+    tag: str = ""
+    op_id: int = field(default_factory=lambda: next(_op_ids))
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.bytes_accessed < 0:
+            raise ValueError("work amounts must be non-negative")
+        if not 0.0 < self.occupancy <= 1.0:
+            raise ValueError(f"occupancy must be in (0, 1], got {self.occupancy}")
+        if self.flops == 0 and self.bytes_accessed == 0:
+            raise ValueError("kernel must have some work")
+
+    def solo_time(self, spec: DeviceSpec) -> float:
+        """Roofline solo execution time on ``spec`` (excluding launch latency)."""
+        compute = self.flops / spec.peak_gflops
+        memory = self.bytes_accessed / spec.mem_bandwidth_gbps
+        return max(compute, memory)
+
+    def memory_boundedness(self, spec: DeviceSpec) -> float:
+        """Fraction of solo time bound by memory bandwidth on ``spec``.
+
+        0 = pure compute, 1 = pure bandwidth.  Drives the interference model
+        and is what the Request Monitor's "memory bandwidth" feedback
+        ultimately reflects.
+        """
+        solo = self.solo_time(spec)
+        if solo == 0:
+            return 0.0
+        memory = self.bytes_accessed / spec.mem_bandwidth_gbps
+        return min(1.0, memory / solo)
+
+    def achieved_bandwidth_gbps(self, spec: DeviceSpec) -> float:
+        """Average device-memory bandwidth while running alone on ``spec``."""
+        solo = self.solo_time(spec)
+        if solo == 0:
+            return 0.0
+        return self.bytes_accessed / solo
+
+
+@dataclass
+class CopyOp:
+    """A host/device memory transfer.
+
+    Parameters
+    ----------
+    nbytes:
+        Transfer size in bytes.
+    kind:
+        Direction (:class:`CopyKind`).
+    pinned:
+        Whether the host buffer is page-locked; pinned transfers run at the
+        full PCIe rate and are what the Memory Operation Translator stages.
+    tag:
+        Free-form label for tracing.
+    """
+
+    nbytes: int
+    kind: CopyKind
+    pinned: bool = False
+    tag: str = ""
+    op_id: int = field(default_factory=lambda: next(_op_ids))
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if not isinstance(self.kind, CopyKind):
+            raise TypeError(f"kind must be CopyKind, got {self.kind!r}")
+
+    def solo_time(self, spec: DeviceSpec) -> float:
+        """Wire time on ``spec`` (excluding launch latency)."""
+        if self.kind is CopyKind.D2D:
+            # On-device copy: limited by device memory bandwidth (read+write).
+            return 2.0 * self.nbytes / (spec.mem_bandwidth_gbps * 1e9)
+        rate = spec.pcie_gbps_pinned if self.pinned else spec.pcie_gbps_pageable
+        return self.nbytes / (rate * 1e9)
+
+
+__all__ = ["CopyKind", "CopyOp", "KernelOp"]

@@ -1,0 +1,184 @@
+"""Device specification catalog.
+
+The paper's supernode pools four heterogeneous Fermi-class cards:
+NodeA holds a Quadro 2000 and a Tesla C2050; NodeB a Quadro 4000 and a
+Tesla C2070 (Section V.C).  The numbers below are the public datasheet
+figures for those cards; the timing model only depends on their *ratios*,
+so modest datasheet inaccuracies do not change any experiment's shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static hardware description of one GPU.
+
+    Attributes
+    ----------
+    name:
+        Marketing name, unique within the catalog.
+    sm_count:
+        Number of streaming multiprocessors.
+    peak_gflops:
+        Single-precision peak throughput; kernel compute time scales as
+        ``flops / peak_gflops``.
+    mem_bandwidth_gbps:
+        Device-memory bandwidth in GB/s; kernel memory time scales as
+        ``bytes_accessed / mem_bandwidth_gbps`` (roofline model).
+    mem_capacity_mb:
+        Device memory capacity; `cudaMalloc` beyond it fails.
+    copy_engines:
+        1 = H2D and D2H share one DMA engine (Quadro cards);
+        2 = independent H2D and D2H engines (Tesla cards).
+    pcie_gbps_pinned:
+        Host-device transfer bandwidth with page-locked host memory.
+    pcie_gbps_pageable:
+        Transfer bandwidth with pageable host memory (staged internally by
+        the real driver, roughly half the pinned rate).
+    copy_latency_s:
+        Fixed per-transfer launch latency.
+    kernel_launch_latency_s:
+        Fixed per-kernel launch latency.
+    ctx_switch_s:
+        Cost of switching the resident GPU context (driver multiplexing of
+        separate host processes — the overhead Strings' context packing
+        removes).
+    ctx_slice_s:
+        Driver time-slice: with several contexts contending, the resident
+        context is switched out after at most this long.
+    concurrency_penalty:
+        Per-co-resident-kernel slowdown: with ``n`` kernels sharing the SM
+        array every kernel's progress is divided by
+        ``1 + concurrency_penalty * (n - 1)``, modelling the cache/TLB and
+        hardware-scheduler interference of the paper's "character
+        collisions" — the cost that makes *managed* sharing (the device
+        scheduler's bounded wake sets) win over a free-for-all.
+    """
+
+    name: str
+    sm_count: int
+    peak_gflops: float
+    mem_bandwidth_gbps: float
+    mem_capacity_mb: int
+    copy_engines: int = 2
+    pcie_gbps_pinned: float = 5.8
+    pcie_gbps_pageable: float = 3.0
+    copy_latency_s: float = 12e-6
+    kernel_launch_latency_s: float = 8e-6
+    ctx_switch_s: float = 1.2e-3
+    ctx_slice_s: float = 0.020
+    concurrency_penalty: float = 0.06
+
+    def __post_init__(self) -> None:
+        if self.copy_engines not in (1, 2):
+            raise ValueError(f"copy_engines must be 1 or 2, got {self.copy_engines}")
+        for attr in (
+            "sm_count",
+            "peak_gflops",
+            "mem_bandwidth_gbps",
+            "mem_capacity_mb",
+            "pcie_gbps_pinned",
+            "pcie_gbps_pageable",
+        ):
+            if getattr(self, attr) <= 0:
+                raise ValueError(f"{attr} must be positive")
+
+    @property
+    def mem_capacity_bytes(self) -> int:
+        """Device memory capacity in bytes."""
+        return self.mem_capacity_mb * 1024 * 1024
+
+    def scaled(self, **overrides) -> "DeviceSpec":
+        """A copy of this spec with the given fields replaced."""
+        return replace(self, **overrides)
+
+    def compute_weight(self, reference: "DeviceSpec") -> float:
+        """Static relative weight used by GWtMin: the peak-GFLOPS ratio
+        versus ``reference``.
+
+        Deliberately naive (paper Section V.D): "the static GPU weights
+        assigned to each GPU during system initialization, in many cases,
+        do not mirror the actual relative differences in application
+        performance" — a compute-only weight mispredicts bandwidth-bound
+        and transfer-bound applications, which is exactly the mismatch the
+        paper reports (GMin beating GWtMin for some applications) and the
+        motivation for feedback-based balancing.
+        """
+        return float(self.peak_gflops / reference.peak_gflops)
+
+
+#: NodeA, slot 0 — entry-level Fermi workstation card, single DMA engine.
+QUADRO_2000 = DeviceSpec(
+    name="Quadro 2000",
+    sm_count=4,
+    peak_gflops=480.0,
+    mem_bandwidth_gbps=41.6,
+    mem_capacity_mb=1024,
+    copy_engines=1,
+)
+
+#: NodeA, slot 1 — compute Fermi card, dual DMA engines.
+TESLA_C2050 = DeviceSpec(
+    name="Tesla C2050",
+    sm_count=14,
+    peak_gflops=1030.0,
+    mem_bandwidth_gbps=144.0,
+    mem_capacity_mb=3072,
+    copy_engines=2,
+)
+
+#: NodeB, slot 0 — mid-range Fermi workstation card, single DMA engine.
+QUADRO_4000 = DeviceSpec(
+    name="Quadro 4000",
+    sm_count=8,
+    peak_gflops=486.0,
+    mem_bandwidth_gbps=89.6,
+    mem_capacity_mb=2048,
+    copy_engines=1,
+)
+
+#: NodeB, slot 1 — compute Fermi card, dual DMA engines, 6 GB.
+TESLA_C2070 = DeviceSpec(
+    name="Tesla C2070",
+    sm_count=14,
+    peak_gflops=1030.0,
+    mem_bandwidth_gbps=144.0,
+    mem_capacity_mb=6144,
+    copy_engines=2,
+)
+
+DEVICE_CATALOG: Dict[str, DeviceSpec] = {
+    spec.name: spec
+    for spec in (QUADRO_2000, TESLA_C2050, QUADRO_4000, TESLA_C2070)
+}
+
+#: The per-node card pairs of the paper's testbed.
+NODE_A_DEVICES: Tuple[DeviceSpec, DeviceSpec] = (QUADRO_2000, TESLA_C2050)
+NODE_B_DEVICES: Tuple[DeviceSpec, DeviceSpec] = (QUADRO_4000, TESLA_C2070)
+
+
+def device_by_name(name: str) -> DeviceSpec:
+    """Look up a catalog device by its marketing name."""
+    try:
+        return DEVICE_CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown device {name!r}; known: {sorted(DEVICE_CATALOG)}"
+        ) from None
+
+
+__all__ = [
+    "DEVICE_CATALOG",
+    "DeviceSpec",
+    "NODE_A_DEVICES",
+    "NODE_B_DEVICES",
+    "QUADRO_2000",
+    "QUADRO_4000",
+    "TESLA_C2050",
+    "TESLA_C2070",
+    "device_by_name",
+]

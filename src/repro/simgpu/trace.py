@@ -1,0 +1,161 @@
+"""Busy-interval tracing and utilization timelines.
+
+Used to regenerate the paper's utilization figures: Fig. 1 (compute/memory
+characteristics of cloud apps) and Fig. 2 (GPU usage of Monte-Carlo request
+streams under sequential vs concurrent execution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class Interval:
+    """A closed-open busy interval ``[start, end)`` attributed to ``key``."""
+
+    key: Hashable
+    start: float
+    end: float
+    tag: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class BusyTracer:
+    """Records busy intervals keyed by an opaque identity.
+
+    ``begin``/``end`` must pair up per key; intervals still open when the
+    trace is read are clipped at the requested horizon.
+    """
+
+    def __init__(self) -> None:
+        self.intervals: List[Interval] = []
+        self._open: Dict[Hashable, Tuple[float, str]] = {}
+
+    def begin(self, key: Hashable, t: float, tag: str = "") -> None:
+        """Mark ``key`` busy from time ``t``."""
+        if key in self._open:
+            raise ValueError(f"interval already open for key {key!r}")
+        self._open[key] = (t, tag)
+
+    def end(self, key: Hashable, t: float) -> None:
+        """Mark ``key`` idle from time ``t``."""
+        try:
+            start, tag = self._open.pop(key)
+        except KeyError:
+            raise ValueError(f"no open interval for key {key!r}") from None
+        if t < start:
+            raise ValueError(f"interval for {key!r} ends before it starts")
+        self.intervals.append(Interval(key, start, t, tag))
+
+    def snapshot(self, horizon: float) -> List[Interval]:
+        """All intervals, with still-open ones clipped at ``horizon``."""
+        out = list(self.intervals)
+        for key, (start, tag) in self._open.items():
+            if horizon > start:
+                out.append(Interval(key, start, horizon, tag))
+        return out
+
+    def busy_fraction(self, t0: float, t1: float) -> float:
+        """Fraction of [t0, t1) with at least one interval active."""
+        if t1 <= t0:
+            return 0.0
+        edges = []
+        for iv in self.snapshot(t1):
+            s, e = max(iv.start, t0), min(iv.end, t1)
+            if e > s:
+                edges.append((s, 1))
+                edges.append((e, -1))
+        if not edges:
+            return 0.0
+        edges.sort()
+        busy = 0.0
+        depth = 0
+        prev = t0
+        for t, d in edges:
+            if depth > 0:
+                busy += t - prev
+            prev = t
+            depth += d
+        return busy / (t1 - t0)
+
+
+def utilization_timeline(
+    intervals: List[Interval],
+    t0: float,
+    t1: float,
+    bins: int = 200,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Binned utilization (%) over ``[t0, t1)``.
+
+    Returns ``(bin_start_times, utilization_percent)``.  Utilization of a
+    bin is the fraction of that bin covered by at least one interval —
+    overlapping intervals do not count twice (they represent concurrent
+    work on the same engine).
+    """
+    if t1 <= t0:
+        raise ValueError("empty window")
+    if bins < 1:
+        raise ValueError("need at least one bin")
+
+    edges = np.linspace(t0, t1, bins + 1)
+    # Build a merged busy set first, then distribute over bins (vectorized).
+    spans = sorted(
+        (max(iv.start, t0), min(iv.end, t1))
+        for iv in intervals
+        if iv.end > t0 and iv.start < t1
+    )
+    merged: List[Tuple[float, float]] = []
+    for s, e in spans:
+        if e <= s:
+            continue
+        if merged and s <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], e))
+        else:
+            merged.append((s, e))
+
+    util = np.zeros(bins)
+    if merged:
+        starts = np.array([s for s, _ in merged])
+        ends = np.array([e for _, e in merged])
+        # Coverage of bin i by span j: overlap(edges[i:i+2], span j).
+        lo = np.maximum(starts[None, :], edges[:-1, None])
+        hi = np.minimum(ends[None, :], edges[1:, None])
+        util = np.clip(hi - lo, 0.0, None).sum(axis=1) / (edges[1] - edges[0])
+    return edges[:-1], util * 100.0
+
+
+def concurrency_timeline(
+    intervals: List[Interval],
+    t0: float,
+    t1: float,
+    bins: int = 200,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Binned average concurrency (number of overlapping intervals)."""
+    if t1 <= t0:
+        raise ValueError("empty window")
+    edges = np.linspace(t0, t1, bins + 1)
+    width = edges[1] - edges[0]
+    occupancy = np.zeros(bins)
+    for iv in intervals:
+        s, e = max(iv.start, t0), min(iv.end, t1)
+        if e <= s:
+            continue
+        lo = np.maximum(s, edges[:-1])
+        hi = np.minimum(e, edges[1:])
+        occupancy += np.clip(hi - lo, 0.0, None)
+    return edges[:-1], occupancy / width
+
+
+__all__ = [
+    "BusyTracer",
+    "Interval",
+    "concurrency_timeline",
+    "utilization_timeline",
+]

@@ -1,0 +1,45 @@
+"""The 24 workload pairs A..X (paper Section V.B).
+
+"24 such workload pairs are used, labeled from A to X, where A is the
+DC-BS pair, B is the DC-MC pair, X is the EV-SN pair, and so on,
+following the order in Table I" — i.e. each Group A app paired with each
+Group B app, Group A outermost.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import Dict, List, Tuple
+
+from repro.apps.catalog import GROUP_A, GROUP_B, app_by_short
+from repro.apps.models import AppSpec
+
+#: label -> (Group A short code, Group B short code)
+PAIRS: Dict[str, Tuple[str, str]] = {}
+_letters = string.ascii_uppercase
+_i = 0
+for _a in GROUP_A:
+    for _b in GROUP_B:
+        PAIRS[_letters[_i]] = (_a.short, _b.short)
+        _i += 1
+assert _i == 24, "expected exactly 24 pairs"
+
+
+def pair_apps(label: str) -> Tuple[AppSpec, AppSpec]:
+    """The (long-running, short-running) app specs of pair ``label``."""
+    try:
+        a, b = PAIRS[label.upper()]
+    except KeyError:
+        raise KeyError(f"unknown pair {label!r}; labels are A..X") from None
+    return app_by_short(a), app_by_short(b)
+
+
+def pair_label(a_short: str, b_short: str) -> str:
+    """Inverse lookup: the label of the (A-app, B-app) combination."""
+    for label, combo in PAIRS.items():
+        if combo == (a_short, b_short):
+            return label
+    raise KeyError(f"no pair for ({a_short}, {b_short})")
+
+
+__all__ = ["PAIRS", "pair_apps", "pair_label"]

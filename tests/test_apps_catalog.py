@@ -1,0 +1,97 @@
+"""Tests for the Table I application catalog and calibration."""
+
+import pytest
+
+from repro.apps import ALL_APPS, GROUP_A, GROUP_B, app_by_short
+from repro.apps.catalog import PAPER_BANDWIDTH_MBPS, REFERENCE_SPEC, calibrate
+from repro.simgpu.specs import QUADRO_2000
+
+
+def test_ten_apps_in_two_groups():
+    assert len(ALL_APPS) == 10
+    assert [a.short for a in GROUP_A] == ["DC", "SC", "BO", "MM", "HI", "EV"]
+    assert [a.short for a in GROUP_B] == ["BS", "MC", "GA", "SN"]
+
+
+def test_app_lookup():
+    assert app_by_short("MC").name == "MonteCarlo"
+    with pytest.raises(KeyError):
+        app_by_short("ZZ")
+
+
+def test_group_a_runtimes_in_paper_band():
+    for app in GROUP_A:
+        rt = app.solo_runtime_s(REFERENCE_SPEC)
+        assert 10.0 <= rt <= 55.0, app.short
+
+
+def test_group_b_runtimes_under_ten_seconds():
+    for app in GROUP_B:
+        rt = app.solo_runtime_s(REFERENCE_SPEC)
+        assert rt < 10.0, app.short
+
+
+@pytest.mark.parametrize(
+    "short,gpu_frac",
+    [("DC", 0.8931), ("SC", 0.1073), ("BO", 0.4106), ("MM", 0.8013),
+     ("HI", 0.8651), ("EV", 0.4192), ("BS", 0.2451), ("MC", 0.8486),
+     ("GA", 0.0114), ("SN", 0.0205)],
+)
+def test_gpu_fraction_matches_table1(short, gpu_frac):
+    app = app_by_short(short)
+    assert app.gpu_fraction(REFERENCE_SPEC) == pytest.approx(gpu_frac, rel=0.02)
+
+
+@pytest.mark.parametrize(
+    "short,tf",
+    [("BO", 0.9888), ("MC", 0.9894), ("SC", 0.2499), ("SN", 0.2668), ("DC", 0.00005)],
+)
+def test_transfer_fraction_matches_table1(short, tf):
+    app = app_by_short(short)
+    assert app.transfer_fraction(REFERENCE_SPEC) == pytest.approx(tf, rel=0.05, abs=1e-4)
+
+
+def test_bandwidth_ranking_matches_paper():
+    """The per-app memory-bandwidth *ordering* of Table I is preserved."""
+    ours = {a.short: a.memory_bandwidth_gbps(REFERENCE_SPEC) for a in ALL_APPS}
+    paper_order = sorted(PAPER_BANDWIDTH_MBPS, key=PAPER_BANDWIDTH_MBPS.get)
+    ours_order = sorted(ours, key=ours.get)
+    assert ours_order == paper_order
+
+
+def test_histogram_is_memory_bound_in_model():
+    hi = app_by_short("HI")
+    assert hi.memory_boundedness(REFERENCE_SPEC) > 0.8
+
+
+def test_dxtc_is_compute_bound_in_model():
+    dc = app_by_short("DC")
+    assert dc.memory_boundedness(REFERENCE_SPEC) < 0.1
+
+
+def test_kernels_slower_on_quadro():
+    for app in ALL_APPS:
+        assert app.kernel_solo_s(QUADRO_2000) >= app.kernel_solo_s(REFERENCE_SPEC)
+
+
+def test_buffer_bytes_bounded():
+    for app in ALL_APPS:
+        assert 32e6 <= app.buffer_bytes <= 192e6
+
+
+def test_calibrate_validation():
+    with pytest.raises(ValueError):
+        calibrate("X", "X", "A", 10, gpu_frac=1.5, transfer_frac=0, boundedness=0,
+                  occupancy=0.5, iterations=4)
+    with pytest.raises(ValueError):
+        calibrate("X", "X", "C", 10, gpu_frac=0.5, transfer_frac=0, boundedness=0,
+                  occupancy=0.5, iterations=4)
+
+
+def test_calibrate_roundtrip_custom():
+    app = calibrate("Custom", "CU", "B", runtime_s=4.0, gpu_frac=0.5,
+                    transfer_frac=0.3, boundedness=0.4, occupancy=0.5, iterations=8)
+    assert app.solo_runtime_s(REFERENCE_SPEC) == pytest.approx(4.0, rel=0.02)
+    assert app.gpu_fraction(REFERENCE_SPEC) == pytest.approx(0.5, rel=0.02)
+    assert app.transfer_fraction(REFERENCE_SPEC) == pytest.approx(0.3, rel=0.05)
+    assert app.memory_boundedness(REFERENCE_SPEC) == pytest.approx(0.4, rel=0.02)

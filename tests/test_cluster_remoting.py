@@ -1,0 +1,214 @@
+"""Unit tests for cluster nodes, network model, RPC costs and backends."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.simgpu import CopyKind, TESLA_C2050
+from repro.cluster import Network, Node, build_paper_supernode, build_small_server
+from repro.remoting import BackendDaemon, RpcCostModel
+
+
+# -- Network ------------------------------------------------------------------
+
+
+def test_network_validation():
+    with pytest.raises(ValueError):
+        Network(latency_s=-1)
+    with pytest.raises(ValueError):
+        Network(bandwidth_gbps=0)
+
+
+def test_bandwidth_conversion_bits_to_bytes():
+    net = Network(bandwidth_gbps=1.0)
+    assert net.bytes_per_second == pytest.approx(125e6)
+
+
+def test_default_link_is_10gbps_dedicated():
+    # See repro.cluster.network docstring for the calibration rationale.
+    assert Network().bandwidth_gbps == pytest.approx(10.0)
+
+
+def test_remote_transfer_includes_latency_and_wire_time():
+    net = Network(latency_s=100e-6, bandwidth_gbps=1.0)
+    d = net.transfer_delay(125_000_000, local=False)
+    assert d == pytest.approx(1.0 + 100e-6)
+
+
+def test_local_transfer_is_fast_shared_memory():
+    net = Network()
+    assert net.transfer_delay(12_000_000, local=True) == pytest.approx(1e-3)
+
+
+def test_zero_byte_transfer_free():
+    net = Network()
+    assert net.transfer_delay(0, local=False) == 0.0
+
+
+def test_message_delay_local_vs_remote():
+    net = Network()
+    assert net.message_delay(local=True) < net.message_delay(local=False)
+
+
+# -- Nodes -------------------------------------------------------------------
+
+
+def test_small_server_is_one_node_two_gpus():
+    env = Environment()
+    nodes, _net = build_small_server(env)
+    assert len(nodes) == 1
+    assert nodes[0].device_count == 2
+    assert nodes[0].devices[0].spec.name == "Quadro 2000"
+    assert nodes[0].devices[1].spec.name == "Tesla C2050"
+
+
+def test_paper_supernode_is_two_nodes_four_gpus():
+    env = Environment()
+    nodes, _net = build_paper_supernode(env)
+    assert [n.device_count for n in nodes] == [2, 2]
+    names = [d.spec.name for n in nodes for d in n.devices]
+    assert names == ["Quadro 2000", "Tesla C2050", "Quadro 4000", "Tesla C2070"]
+
+
+def test_node_hostnames_distinct():
+    env = Environment()
+    nodes, _ = build_paper_supernode(env)
+    assert nodes[0].hostname != nodes[1].hostname
+
+
+# -- RPC cost model --------------------------------------------------------------
+
+
+def test_rpc_roundtrip_local_is_microseconds():
+    rpc = RpcCostModel()
+    net = Network()
+    rtt = rpc.roundtrip_delay(net, local=True)
+    assert 0 < rtt < 50e-6
+
+
+def test_rpc_remote_roundtrip_dominated_by_latency():
+    rpc = RpcCostModel()
+    net = Network(latency_s=120e-6)
+    rtt = rpc.roundtrip_delay(net, local=False)
+    assert rtt > 2 * 120e-6
+
+
+def test_rpc_bulk_data_remote_charges_wire_time():
+    rpc = RpcCostModel()
+    net = Network(bandwidth_gbps=1.0)
+    assert rpc.bulk_data_delay(net, local=False, nbytes=125_000_000) > 1.0
+
+
+def test_remote_still_more_expensive_than_local():
+    net = Network()
+    assert net.transfer_delay(10_000_000, local=False) > net.transfer_delay(
+        10_000_000, local=True
+    )
+
+
+def test_staging_delay_scales():
+    rpc = RpcCostModel(pinned_staging_gbps=12.0)
+    assert rpc.staging_delay(12_000_000_000) == pytest.approx(1.0)
+    assert rpc.staging_delay(0) == 0.0
+
+
+# -- Backend daemon -----------------------------------------------------------------
+
+
+def test_device_info_lists_local_gpus():
+    env = Environment()
+    nodes, _ = build_small_server(env)
+    daemon = BackendDaemon(env, nodes[0])
+    info = daemon.device_info()
+    assert [(h, i) for h, i, _ in info] == [("nodeA", 0), ("nodeA", 1)]
+
+
+def test_design1_workers_have_separate_contexts():
+    env = Environment()
+    nodes, _ = build_small_server(env)
+    daemon = BackendDaemon(env, nodes[0])
+    w1 = daemon.design1_worker("app1", local_device=1)
+    w2 = daemon.design1_worker("app2", local_device=1)
+    assert w1.context is not w2.context
+    assert len(nodes[0].devices[1].contexts) == 2
+
+
+def test_design3_workers_share_one_context_per_device():
+    env = Environment()
+    nodes, _ = build_small_server(env)
+    daemon = BackendDaemon(env, nodes[0])
+    w1 = daemon.design3_worker("app1", local_device=1)
+    w2 = daemon.design3_worker("app2", local_device=1)
+    w3 = daemon.design3_worker("app3", local_device=0)
+    assert w1.context is w2.context
+    assert w3.context is not w1.context
+    assert len(nodes[0].devices[1].contexts) == 1
+    assert daemon.resident_tenants(1) == 2
+
+
+def test_design3_tenant_count_drops_on_exit():
+    env = Environment()
+    nodes, _ = build_small_server(env)
+    daemon = BackendDaemon(env, nodes[0])
+    w1 = daemon.design3_worker("app1", local_device=0)
+    assert daemon.resident_tenants(0) == 1
+    w1.thread_exit()
+    assert daemon.resident_tenants(0) == 0
+
+
+def test_design2_master_serializes_calls():
+    env = Environment()
+    nodes, _ = build_small_server(env)
+    daemon = BackendDaemon(env, nodes[0])
+    master = daemon.design2_master(local_device=1)
+    assert daemon.design2_master(1) is master  # memoized
+    order = []
+
+    def call_a(thread):
+        yield thread.memcpy(30_000_000, CopyKind.H2D)  # 10 ms blocking
+        order.append(("a", env.now))
+        return "ra"
+
+    def call_b(thread):
+        order.append(("b", env.now))
+        yield env.timeout(0)
+        return "rb"
+
+    results = []
+
+    def client(env):
+        ea = master.submit(call_a)
+        eb = master.submit(call_b)
+        ra = yield ea
+        rb = yield eb
+        results.append((ra, rb))
+
+    env.process(client(env))
+    env.run()
+    # b only started after a's blocking copy finished: head-of-line blocking.
+    assert order[0][0] == "a"
+    assert order[1][1] >= order[0][1]
+    assert results == [("ra", "rb")]
+    assert master.calls_served == 2
+
+
+def test_design2_master_marshals_exceptions():
+    env = Environment()
+    nodes, _ = build_small_server(env)
+    daemon = BackendDaemon(env, nodes[0])
+    master = daemon.design2_master(local_device=0)
+
+    def bad_call(thread):
+        yield env.timeout(0)
+        raise ValueError("downstream")
+
+    caught = []
+
+    def client(env):
+        try:
+            yield master.submit(bad_call)
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    env.process(client(env))
+    env.run()
+    assert caught == ["downstream"]

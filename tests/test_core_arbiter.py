@@ -1,0 +1,83 @@
+"""Tests for the Policy Arbiter's dynamic policy switching."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.cluster import build_small_server
+from repro.core import StringsSystem
+from repro.core.arbiter import PolicyArbiter, install_arbiter
+from repro.core.feedback import AppProfile
+from repro.core.policies import GMin, MBF
+from repro.apps import app_by_short, run_request
+
+
+def make_system():
+    env = Environment()
+    nodes, net = build_small_server(env)
+    system = StringsSystem(env, nodes, net, balancing=GMin())
+    return env, nodes, system
+
+
+def profile(name, runtime=5.0):
+    return AppProfile(
+        app_name=name, runtime_s=runtime, gpu_time_s=2.0,
+        transfer_time_s=0.5, bytes_accessed_gb=10.0,
+    )
+
+
+def test_arbiter_starts_with_static_policy():
+    env, nodes, system = make_system()
+    arb = PolicyArbiter(system.mapper, GMin(), MBF(system.sft))
+    assert arb.active_policy.name == "GMin"
+    assert not arb.switched
+
+
+def test_arbiter_switches_after_enough_feedback():
+    env, nodes, system = make_system()
+    arb = PolicyArbiter(
+        system.mapper, GMin(), MBF(system.sft), min_profiles=3, min_distinct_apps=2
+    )
+    arb.deliver_feedback(profile("MC"))
+    arb.deliver_feedback(profile("MC"))
+    assert not arb.switched  # only one distinct app
+    arb.deliver_feedback(profile("DC"))
+    assert arb.switched
+    assert arb.active_policy.name == "MBF"
+    assert arb.switched_at_profile == 3
+    assert arb.transitions == [(0, "GMin"), (3, "MBF")]
+
+
+def test_arbiter_requires_distinct_apps():
+    env, nodes, system = make_system()
+    arb = PolicyArbiter(
+        system.mapper, GMin(), MBF(system.sft), min_profiles=2, min_distinct_apps=3
+    )
+    for _ in range(5):
+        arb.deliver_feedback(profile("MC"))
+    assert not arb.switched
+
+
+def test_arbiter_aligns_feedback_policy_sft():
+    env, nodes, system = make_system()
+    from repro.core.feedback import SchedulerFeedbackTable
+
+    foreign = MBF(SchedulerFeedbackTable())
+    arb = PolicyArbiter(system.mapper, GMin(), foreign)
+    assert foreign.sft is system.sft  # re-pointed at the live table
+
+
+def test_install_arbiter_rewires_device_sinks_end_to_end():
+    env, nodes, system = make_system()
+    arb = install_arbiter(
+        system, GMin(), MBF(system.sft), min_profiles=2, min_distinct_apps=2
+    )
+    procs = []
+    for i, short in enumerate(["BS", "GA", "BS", "GA"]):
+        spec = app_by_short(short)
+        sess = system.session(spec.short, nodes[0], tenant_id=f"t{i}")
+        procs.append(env.process(run_request(env, sess, spec)))
+    env.run(until=env.all_of(procs))
+    # Profiles flowed through the arbiter and flipped the policy mid-run.
+    assert arb.switched
+    assert system.mapper.policy.name == "MBF"
+    assert system.sft.known("BS") and system.sft.known("GA")

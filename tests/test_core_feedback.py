@@ -1,0 +1,95 @@
+"""Unit tests for AppProfile and the Scheduler Feedback Table."""
+
+import pytest
+
+from repro.core.feedback import AppProfile, SchedulerFeedbackTable
+
+
+def profile(name="MC", runtime=10.0, gpu=4.0, transfer=3.0, gb=100.0, gid=-1):
+    return AppProfile(
+        app_name=name,
+        runtime_s=runtime,
+        gpu_time_s=gpu,
+        transfer_time_s=transfer,
+        bytes_accessed_gb=gb,
+        gid=gid,
+    )
+
+
+def test_profile_utilization_is_gpu_share_of_runtime():
+    p = profile(runtime=10.0, gpu=4.0, transfer=3.0)
+    assert p.gpu_utilization == pytest.approx(0.7)
+
+
+def test_profile_utilization_capped_at_one():
+    p = profile(runtime=1.0, gpu=4.0, transfer=3.0)
+    assert p.gpu_utilization == 1.0
+
+
+def test_profile_transfer_fraction():
+    p = profile(gpu=1.0, transfer=3.0)
+    assert p.transfer_fraction == pytest.approx(0.75)
+
+
+def test_profile_memory_bandwidth():
+    p = profile(gpu=4.0, gb=100.0)
+    assert p.memory_bandwidth_gbps == pytest.approx(25.0)
+
+
+def test_profile_zero_guards():
+    p = profile(runtime=0.0, gpu=0.0, transfer=0.0, gb=0.0)
+    assert p.gpu_utilization == 0.0
+    assert p.transfer_fraction == 0.0
+    assert p.memory_bandwidth_gbps == 0.0
+
+
+def test_sft_first_sample_taken_verbatim():
+    sft = SchedulerFeedbackTable(alpha=0.5)
+    sft.update(profile(runtime=10.0))
+    assert sft.lookup("MC").runtime_s == pytest.approx(10.0)
+
+
+def test_sft_ema_smoothing():
+    sft = SchedulerFeedbackTable(alpha=0.5)
+    sft.update(profile(runtime=10.0))
+    sft.update(profile(runtime=20.0))
+    assert sft.lookup("MC").runtime_s == pytest.approx(15.0)
+
+
+def test_sft_known_and_len():
+    sft = SchedulerFeedbackTable()
+    assert not sft.known("MC")
+    sft.update(profile())
+    assert sft.known("MC")
+    assert len(sft) == 1
+    assert sft.updates == 1
+
+
+def test_sft_per_gid_runtime():
+    sft = SchedulerFeedbackTable(alpha=0.5)
+    sft.update(profile(runtime=10.0, gid=0))
+    sft.update(profile(runtime=30.0, gid=1))
+    assert sft.expected_runtime("MC", 0) == pytest.approx(10.0)
+    assert sft.expected_runtime("MC", 1) == pytest.approx(30.0)
+    # Unknown gid falls back to the global mean.
+    assert sft.expected_runtime("MC", 7) == pytest.approx(20.0)
+
+
+def test_sft_expected_runtime_unknown_app():
+    sft = SchedulerFeedbackTable()
+    assert sft.expected_runtime("ZZ") is None
+
+
+def test_sft_alpha_validation():
+    with pytest.raises(ValueError):
+        SchedulerFeedbackTable(alpha=0.0)
+    with pytest.raises(ValueError):
+        SchedulerFeedbackTable(alpha=1.5)
+
+
+def test_sft_tracks_multiple_apps_independently():
+    sft = SchedulerFeedbackTable()
+    sft.update(profile(name="MC", runtime=8.0))
+    sft.update(profile(name="DC", runtime=34.0))
+    assert sft.lookup("MC").runtime_s == pytest.approx(8.0)
+    assert sft.lookup("DC").runtime_s == pytest.approx(34.0)

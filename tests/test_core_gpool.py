@@ -1,0 +1,109 @@
+"""Unit tests for gPool / gMap / DST."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.cluster import build_paper_supernode, build_small_server
+from repro.core.gpool import DeviceStatus, DeviceStatusTable, GMap, GMapEntry, GPool
+
+
+def make_pool(small=False):
+    env = Environment()
+    nodes, _ = build_small_server(env) if small else build_paper_supernode(env)
+    return GPool(nodes)
+
+
+def test_gmap_assigns_sequential_gids():
+    pool = make_pool()
+    assert pool.gids() == [0, 1, 2, 3]
+
+
+def test_gmap_locations_follow_node_order():
+    pool = make_pool()
+    e0 = pool.gmap.lookup(0)
+    e3 = pool.gmap.lookup(3)
+    assert (e0.hostname, e0.local_id) == ("nodeA", 0)
+    assert (e3.hostname, e3.local_id) == ("nodeB", 1)
+
+
+def test_gmap_unknown_gid():
+    pool = make_pool()
+    with pytest.raises(KeyError):
+        pool.gmap.lookup(99)
+
+
+def test_gmap_duplicate_gids_rejected():
+    entries = [GMapEntry(1, "a", 0), GMapEntry(1, "b", 0)]
+    with pytest.raises(ValueError):
+        GMap(entries)
+
+
+def test_gmap_iteration_ordered():
+    pool = make_pool()
+    gids = [e.gid for e in pool.gmap]
+    assert gids == [0, 1, 2, 3]
+
+
+def test_empty_pool_rejected():
+    with pytest.raises(ValueError):
+        GPool([])
+
+
+def test_pool_devices_match_specs():
+    pool = make_pool()
+    assert pool.device(1).spec.name == "Tesla C2050"
+    assert pool.device(2).spec.name == "Quadro 4000"
+
+
+def test_is_local():
+    pool = make_pool()
+    assert pool.is_local(0, "nodeA")
+    assert not pool.is_local(2, "nodeA")
+
+
+def test_weights_relative_to_best_card():
+    pool = make_pool()
+    weights = {r.gid: r.weight for r in pool.dst.rows()}
+    # Teslas (gids 1, 3) are the reference class: weight 1.0.
+    assert weights[1] == pytest.approx(1.0)
+    assert weights[3] == pytest.approx(1.0)
+    assert weights[0] < weights[2] < 1.0
+
+
+def test_dst_bind_unbind_symmetry():
+    pool = make_pool()
+    dst = pool.dst
+    dst.bind(1, estimated_runtime_s=5.0, estimated_utilization=0.7, profile=(0.2, 30.0))
+    row = dst.row(1)
+    assert row.device_load == 1
+    assert row.estimated_load_s == pytest.approx(5.0)
+    assert row.utilization_load == pytest.approx(0.7)
+    assert row.bound_profiles == [(0.2, 30.0)]
+    dst.unbind(1, estimated_runtime_s=5.0, estimated_utilization=0.7, profile=(0.2, 30.0))
+    row = dst.row(1)
+    assert row.device_load == 0
+    assert row.estimated_load_s == pytest.approx(0.0)
+    assert row.bound_profiles == []
+
+
+def test_dst_unbind_never_negative():
+    pool = make_pool()
+    dst = pool.dst
+    dst.unbind(0, estimated_runtime_s=3.0)
+    assert dst.row(0).device_load == 0
+    assert dst.row(0).estimated_load_s == 0.0
+
+
+def test_dst_duplicate_gid_rejected():
+    dst = DeviceStatusTable()
+    from repro.simgpu import TESLA_C2050
+
+    row = DeviceStatus(gid=0, hostname="x", local_id=0, spec=TESLA_C2050, weight=1.0)
+    dst.add(row)
+    with pytest.raises(ValueError):
+        dst.add(DeviceStatus(gid=0, hostname="x", local_id=1, spec=TESLA_C2050, weight=1.0))
+
+
+def test_small_server_pool_has_two_gids():
+    pool = make_pool(small=True)
+    assert len(pool) == 2

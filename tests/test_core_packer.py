@@ -1,0 +1,124 @@
+"""Unit tests for the Context Packer (SC/AST/SST/MOT + PMT)."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.simgpu import CopyKind, GpuDevice, TESLA_C2050
+from repro.cuda import HostProcess
+from repro.core.packer import ContextPacker, PinnedMemoryTable
+
+
+@pytest.fixture()
+def rig():
+    env = Environment()
+    device = GpuDevice(env, TESLA_C2050)
+    proc = HostProcess(env, [device], name="bp-dev0")
+    packer = ContextPacker()
+    return env, device, proc, packer
+
+
+def test_pack_creates_dedicated_stream(rig):
+    env, device, proc, packer = rig
+    w1 = proc.spawn_thread()
+    w2 = proc.spawn_thread()
+    a1 = packer.pack(w1, "tenantA")
+    a2 = packer.pack(w2, "tenantB")
+    assert a1.stream is not a2.stream
+    assert a1.stream.stream_id != 0  # not the default stream
+    assert packer.packed_count == 2
+
+
+def test_ast_retargets_default_stream(rig):
+    env, device, proc, packer = rig
+    app = packer.pack(proc.spawn_thread(), "t")
+    assert app.target_stream(None) is app.stream
+    ctx = app.worker.context
+    assert app.target_stream(ctx.default_stream) is app.stream
+    other = ctx.create_stream()
+    assert app.target_stream(other) is other
+
+
+def test_sst_counts_translations_and_reclaims(rig):
+    env, device, proc, packer = rig
+    app = packer.pack(proc.spawn_thread(), "t")
+    app.pmt.add(app.stream.stream_id, "t", 1024, "H2D")
+
+    def go(env):
+        yield app.synchronize()
+
+    env.process(go(env))
+    env.run()
+    assert app.translated_syncs == 1
+    assert len(app.pmt) == 0
+
+
+def test_mot_stages_and_tracks_pmt(rig):
+    env, device, proc, packer = rig
+    app = packer.pack(proc.spawn_thread(), "t")
+
+    def go(env):
+        yield app.memcpy_async_staged(2048, CopyKind.H2D)
+
+    env.process(go(env))
+    env.run()
+    assert app.translated_memcpys == 1
+    assert packer.pmt.total_staged == 2048
+    assert packer.pmt.peak_bytes >= 2048
+
+
+def test_mot_d2h_reclaims_earlier_h2d_buffers(rig):
+    env, device, proc, packer = rig
+    app = packer.pack(proc.spawn_thread(), "t")
+
+    def go(env):
+        app.memcpy_async_staged(4096, CopyKind.H2D)
+        assert len(packer.pmt) == 1
+        yield app.memcpy_async_staged(1024, CopyKind.D2H)
+        # The D2H reclaimed the staged H2D row, then added its own.
+        assert len(packer.pmt) == 1
+
+    env.process(go(env))
+    env.run()
+
+
+def test_unpack_destroys_stream_and_pmt_rows(rig):
+    env, device, proc, packer = rig
+    app = packer.pack(proc.spawn_thread(), "t")
+    app.pmt.add(app.stream.stream_id, "t", 512, "H2D")
+    packer.unpack(app)
+    assert app.stream.destroyed
+    assert len(packer.pmt) == 0
+    assert packer.packed_count == 0
+
+
+# -- PMT in isolation -------------------------------------------------------
+
+
+def test_pmt_outstanding_and_peak():
+    pmt = PinnedMemoryTable()
+    a = pmt.add(1, "t", 100, "H2D")
+    b = pmt.add(1, "t", 200, "H2D")
+    assert pmt.outstanding_bytes == 300
+    assert pmt.peak_bytes == 300
+    pmt.release(a)
+    assert pmt.outstanding_bytes == 200
+    assert pmt.peak_bytes == 300
+    assert len(pmt) == 1
+    pmt.release(b)
+    assert len(pmt) == 0
+
+
+def test_pmt_release_stream_scoped():
+    pmt = PinnedMemoryTable()
+    pmt.add(1, "tA", 100, "H2D")
+    pmt.add(2, "tB", 200, "H2D")
+    pmt.add(1, "tA", 300, "D2H")
+    freed = pmt.release_stream(1)
+    assert freed == 2
+    assert pmt.outstanding_bytes == 200
+
+
+def test_pmt_release_unknown_is_noop():
+    pmt = PinnedMemoryTable()
+    pmt.release(0xBEEF)  # no raise
+    assert len(pmt) == 0

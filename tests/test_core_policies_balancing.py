@@ -1,0 +1,147 @@
+"""Unit tests for GRR / GMin / GWtMin and the feedback balancing policies."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.cluster import build_paper_supernode
+from repro.core.feedback import AppProfile, SchedulerFeedbackTable
+from repro.core.gpool import GPool
+from repro.core.policies import DTF, GMin, GRR, GUF, GWtMin, MBF, RTF
+
+
+@pytest.fixture()
+def pool():
+    env = Environment()
+    nodes, _ = build_paper_supernode(env)
+    return GPool(nodes)
+
+
+def feed(sft, name, runtime, gpu, transfer, gb, gid=-1):
+    sft.update(
+        AppProfile(
+            app_name=name,
+            runtime_s=runtime,
+            gpu_time_s=gpu,
+            transfer_time_s=transfer,
+            bytes_accessed_gb=gb,
+            gid=gid,
+        )
+    )
+
+
+def test_grr_cycles_through_gids(pool):
+    p = GRR()
+    picks = [p.select(pool, pool.dst, "X", "nodeA") for _ in range(6)]
+    assert picks == [0, 1, 2, 3, 0, 1]
+
+
+def test_gmin_picks_least_loaded(pool):
+    p = GMin()
+    pool.dst.bind(0)
+    pool.dst.bind(0)
+    pool.dst.bind(1)
+    # gid 2 and 3 are empty; nodeB-local tie-break picks gid 2.
+    assert p.select(pool, pool.dst, "X", "nodeB") == 2
+
+
+def test_gmin_prefers_local_on_tie(pool):
+    p = GMin()
+    assert p.select(pool, pool.dst, "X", "nodeB") == 2
+    assert p.select(pool, pool.dst, "X", "nodeA") == 0
+
+
+def test_gwtmin_weights_heterogeneous_gpus(pool):
+    p = GWtMin()
+    # One app on each GPU: weighted load = 1/weight, minimized by the
+    # highest-weight GPU (a Tesla).
+    for gid in pool.gids():
+        pool.dst.bind(gid)
+    pick = p.select(pool, pool.dst, "X", "nodeA")
+    assert pick == 1  # local Tesla beats remote Tesla on the local tie-break
+
+
+def test_gwtmin_empty_pool_prefers_local(pool):
+    p = GWtMin()
+    assert p.select(pool, pool.dst, "X", "nodeA") in (0, 1)
+
+
+# -- feedback policies -------------------------------------------------------
+
+
+def test_feedback_policy_falls_back_until_known(pool):
+    sft = SchedulerFeedbackTable()
+    p = RTF(sft, fallback=GRR())
+    g1 = p.select(pool, pool.dst, "MC", "nodeA")
+    assert p.fallback_decisions == 1
+    feed(sft, "MC", runtime=8.0, gpu=1.0, transfer=5.0, gb=10.0)
+    p.select(pool, pool.dst, "MC", "nodeA")
+    assert p.feedback_decisions == 1
+    assert g1 == 0  # GRR's first pick
+
+
+def test_rtf_picks_smallest_completion_horizon(pool):
+    sft = SchedulerFeedbackTable()
+    feed(sft, "MC", runtime=8.0, gpu=1.0, transfer=5.0, gb=10.0, gid=0)
+    p = RTF(sft)
+    # Load gid 0 heavily with estimated runtime.
+    pool.dst.bind(0, estimated_runtime_s=100.0)
+    pick = p.select(pool, pool.dst, "MC", "nodeA")
+    assert pick != 0
+
+
+def test_guf_avoids_high_utilization_stacking(pool):
+    sft = SchedulerFeedbackTable()
+    feed(sft, "DC", runtime=34.0, gpu=30.0, transfer=0.01, gb=60.0)
+    p = GUF(sft)
+    # gids 0 and 1 already hold high-utilization tenants.
+    pool.dst.bind(0, estimated_utilization=0.9)
+    pool.dst.bind(1, estimated_utilization=0.9)
+    pick = p.select(pool, pool.dst, "DC", "nodeA")
+    assert pick in (2, 3)
+
+
+def test_dtf_prefers_contrasting_transfer_profiles(pool):
+    sft = SchedulerFeedbackTable()
+    # MC is transfer-heavy (tf ~ 0.83).
+    feed(sft, "MC", runtime=8.0, gpu=1.0, transfer=5.0, gb=10.0)
+    p = DTF(sft)
+    # Equal load=1 everywhere; gid 2 hosts a compute-bound app (tf=0.01),
+    # others host transfer-heavy apps (tf=0.9).
+    pool.dst.bind(0, profile=(0.9, 5.0))
+    pool.dst.bind(1, profile=(0.9, 5.0))
+    pool.dst.bind(2, profile=(0.01, 5.0))
+    pool.dst.bind(3, profile=(0.9, 5.0))
+    assert p.select(pool, pool.dst, "MC", "nodeA") == 2
+
+
+def test_mbf_avoids_bandwidth_oversubscription(pool):
+    sft = SchedulerFeedbackTable()
+    # HI is bandwidth-bound: ~130 GB/s of demand.
+    feed(sft, "HI", runtime=40.0, gpu=34.0, transfer=0.06, gb=34.0 * 130)
+    p = MBF(sft)
+    # Equal load; gid 1 (Tesla, 144 GB/s) hosts another bandwidth hog,
+    # gid 3 (Tesla) hosts a compute-bound app.
+    pool.dst.bind(0, profile=(0.0, 100.0))
+    pool.dst.bind(1, profile=(0.0, 120.0))
+    pool.dst.bind(2, profile=(0.0, 80.0))
+    pool.dst.bind(3, profile=(0.0, 1.0))
+    assert p.select(pool, pool.dst, "HI", "nodeA") == 3
+
+
+def test_mbf_empty_devices_fit_anything(pool):
+    sft = SchedulerFeedbackTable()
+    feed(sft, "HI", runtime=40.0, gpu=34.0, transfer=0.06, gb=100.0)
+    p = MBF(sft)
+    pick = p.select(pool, pool.dst, "HI", "nodeA")
+    assert pick in pool.gids()
+
+
+def test_feedback_names():
+    sft = SchedulerFeedbackTable()
+    assert RTF(sft).name == "RTF"
+    assert GUF(sft).name == "GUF"
+    assert DTF(sft).name == "DTF"
+    assert MBF(sft).name == "MBF"
+    assert GRR().name == "GRR"
+    assert GMin().name == "GMin"
+    assert GWtMin().name == "GWtMin"

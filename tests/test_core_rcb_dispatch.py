@@ -1,0 +1,176 @@
+"""Unit tests for the RCB, GPU phases and the dispatch gate."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.simgpu.ops import CopyKind, CopyOp, KernelOp
+from repro.core.dispatch import DispatchGate
+from repro.core.rcb import PHASE_PRIORITY, GpuPhase, RcbEntry, RequestControlBlock
+
+
+def kernel_record(start=0.0, end=0.1, gb=0.5):
+    return {
+        "op": KernelOp(flops=1.0, bytes_accessed=gb),
+        "started_at": start,
+        "finished_at": end,
+        "solo_time": end - start,
+    }
+
+
+def copy_record(start=0.0, end=0.01):
+    return {
+        "op": CopyOp(nbytes=1000, kind=CopyKind.H2D),
+        "started_at": start,
+        "finished_at": end,
+        "solo_time": end - start,
+    }
+
+
+def test_register_creates_entry():
+    env = Environment()
+    rcb = RequestControlBlock(env)
+    e = rcb.register("MC", "tenantA", 2.0)
+    assert e.app_name == "MC"
+    assert e.tenant_weight == 2.0
+    assert len(rcb) == 1
+    assert rcb.registrations == 1
+
+
+def test_unregister_removes_and_wakes():
+    env = Environment()
+    rcb = RequestControlBlock(env)
+    gate = DispatchGate(env)
+    e = rcb.register("MC", "t", 1.0)
+    e.awake = False
+    ev = gate.permission(e, GpuPhase.KL)
+    assert not ev.triggered
+    rcb.unregister(e)
+    assert ev.triggered  # teardown cannot deadlock behind the gate
+    assert len(rcb) == 0
+
+
+def test_changed_event_fires_on_register():
+    env = Environment()
+    rcb = RequestControlBlock(env)
+    ev = rcb.changed_event()
+    rcb.register("X", "t", 1.0)
+    assert ev.triggered
+
+
+def test_demand_issue_complete_lifecycle():
+    env = Environment()
+    rcb = RequestControlBlock(env)
+    e = rcb.register("MC", "t", 1.0)
+    assert not e.runnable
+    e.demand(GpuPhase.H2D)
+    assert e.runnable
+    assert e.phase is GpuPhase.H2D
+    e.issue()
+    assert e.pending == 0
+    assert e.inflight == 1
+    e.complete(copy_record())
+    assert e.inflight == 0
+    assert e.phase is GpuPhase.DFL
+    assert not e.runnable
+
+
+def test_complete_accumulates_monitor_stats():
+    env = Environment()
+    rcb = RequestControlBlock(env)
+    e = rcb.register("MC", "t", 1.0)
+    e.demand(GpuPhase.KL)
+    e.issue()
+    e.complete(kernel_record(0.0, 0.1, gb=0.5))
+    e.demand(GpuPhase.H2D)
+    e.issue()
+    e.complete(copy_record(0.1, 0.12))
+    assert e.gpu_kernel_time_s == pytest.approx(0.1)
+    assert e.transfer_time_s == pytest.approx(0.02)
+    assert e.bytes_accessed_gb == pytest.approx(0.5)
+    assert e.service_attained_s == pytest.approx(0.12)
+    assert e.ops_completed == 2
+
+
+def test_roll_epoch_applies_decay_formula():
+    env = Environment()
+    rcb = RequestControlBlock(env)
+    e = rcb.register("MC", "t", 1.0)
+    e.epoch_service_s = 1.0
+    e.roll_epoch(k=0.8)
+    assert e.cgs == pytest.approx(0.8)
+    assert e.epoch_service_s == 0.0
+    e.epoch_service_s = 0.5
+    e.roll_epoch(k=0.8)
+    assert e.cgs == pytest.approx(0.8 * 0.5 + 0.2 * 0.8)
+
+
+def test_profile_reflects_monitor_data():
+    env = Environment()
+    rcb = RequestControlBlock(env)
+    e = rcb.register("MC", "t", 1.0)
+    e.demand(GpuPhase.KL)
+    e.issue()
+    e.complete(kernel_record(0.0, 2.0, gb=10.0))
+    p = e.profile(now=4.0, gid=3)
+    assert p.runtime_s == pytest.approx(4.0)
+    assert p.gpu_time_s == pytest.approx(2.0)
+    assert p.gid == 3
+    assert p.memory_bandwidth_gbps == pytest.approx(5.0)
+
+
+def test_phase_priority_order():
+    assert PHASE_PRIORITY[GpuPhase.KL] < PHASE_PRIORITY[GpuPhase.H2D]
+    assert PHASE_PRIORITY[GpuPhase.H2D] == PHASE_PRIORITY[GpuPhase.D2H]
+    assert PHASE_PRIORITY[GpuPhase.D2H] < PHASE_PRIORITY[GpuPhase.DFL]
+
+
+# -- gate ----------------------------------------------------------------------
+
+
+def test_gate_awake_entry_passes_immediately():
+    env = Environment()
+    gate = DispatchGate(env)
+    rcb = RequestControlBlock(env)
+    e = rcb.register("A", "t", 1.0)
+    ev = gate.permission(e, GpuPhase.KL)
+    assert ev.triggered
+    assert e.pending == 1
+
+
+def test_gate_sleeping_entry_parks_until_wake():
+    env = Environment()
+    gate = DispatchGate(env)
+    rcb = RequestControlBlock(env)
+    e = rcb.register("A", "t", 1.0)
+    gate.sleep(e)
+    ev = gate.permission(e, GpuPhase.H2D)
+    assert not ev.triggered
+    gate.wake(e)
+    assert ev.triggered
+    assert gate.wakes == 1
+    assert gate.sleeps == 1
+
+
+def test_gate_wake_idempotent():
+    env = Environment()
+    gate = DispatchGate(env)
+    rcb = RequestControlBlock(env)
+    e = rcb.register("A", "t", 1.0)
+    gate.wake(e)  # already awake
+    assert gate.wakes == 0
+    gate.sleep(e)
+    gate.sleep(e)
+    assert gate.sleeps == 1
+
+
+def test_set_awake_exactly():
+    env = Environment()
+    gate = DispatchGate(env)
+    rcb = RequestControlBlock(env)
+    a = rcb.register("A", "t", 1.0)
+    b = rcb.register("B", "t", 1.0)
+    c = rcb.register("C", "t", 1.0)
+    gate.set_awake_exactly([a, b, c], [b])
+    assert (a.awake, b.awake, c.awake) == (False, True, False)
+    gate.set_awake_exactly([a, b, c], [a, c])
+    assert (a.awake, b.awake, c.awake) == (True, False, True)

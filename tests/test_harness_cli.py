@@ -1,0 +1,42 @@
+"""Smoke tests for the harness CLI and the cheap figure runners."""
+
+import pytest
+
+from repro.harness.__main__ import EXPERIMENTS, EXTENSIONS, main
+from repro.harness import fig1, fig2, table1
+from repro.harness.runner import SCALE_QUICK
+
+
+def test_cli_lists_every_paper_experiment():
+    assert EXPERIMENTS == [
+        "table1", "fig1", "fig2", "fig9", "fig10",
+        "fig11", "fig12", "fig13", "fig14", "fig15",
+    ]
+    assert "scaleout" in EXTENSIONS
+
+
+def test_cli_rejects_unknown_experiment(capsys):
+    with pytest.raises(SystemExit):
+        main(["figXX"])
+
+
+def test_cli_runs_fig1(capsys):
+    assert main(["fig1"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 1" in out
+    assert "DXTC" in out
+
+
+def test_table1_main_prints_all_apps(capsys):
+    table1.main()
+    out = capsys.readouterr().out
+    for short in ("DC", "SC", "BO", "MM", "HI", "EV", "BS", "MC", "GA", "SN"):
+        assert f"({short})" in out
+
+
+def test_fig2_quick_runs_and_prints(capsys):
+    fig2.main(SCALE_QUICK)
+    out = capsys.readouterr().out
+    assert "sequential" in out
+    assert "concurrent" in out
+    assert "ctx switches" in out

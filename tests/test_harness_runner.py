@@ -1,0 +1,145 @@
+"""Unit tests for the harness machinery (runner, format, pairsweep helpers)."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.cluster import build_single_gpu_server, build_small_server
+from repro.core.policies import GMin, GRR
+from repro.core.systems import StringsSystem
+from repro.sim.rng import RandomStream
+from repro.apps import app_by_short
+from repro.workloads import exponential_stream
+from repro.harness.format import format_series, format_table, geomean
+from repro.harness.pairsweep import family_of
+from repro.harness.runner import (
+    SCALE_PAPER,
+    SCALE_QUICK,
+    closed_loop_shared_run,
+    prewarm_sft,
+    run_stream_experiment,
+    solo_completion_time,
+    system_factories,
+)
+
+
+def test_scales():
+    assert SCALE_QUICK.requests_per_stream < SCALE_PAPER.requests_per_stream
+    assert SCALE_PAPER.scaled(seed=7).seed == 7
+    assert SCALE_PAPER.seed == 42  # original untouched
+
+
+def test_system_factories_cover_paper_labels():
+    facts = system_factories()
+    expected = {
+        "CUDA", "GRR-Rain", "GMin-Rain", "GWtMin-Rain",
+        "GRR-Strings", "GMin-Strings", "GWtMin-Strings",
+        "TFS-Rain", "TFS-Strings",
+        "GWtMin+LAS-Rain", "GWtMin+LAS-Strings", "GWtMin+PS-Strings",
+        "LAS-Rain", "LAS-Strings", "PS-Strings",
+        "RTF-Rain", "GUF-Rain", "RTF-Strings", "GUF-Strings",
+        "DTF-Strings", "MBF-Strings",
+    }
+    assert expected <= set(facts)
+
+
+def test_factories_build_working_systems():
+    facts = system_factories()
+    env = Environment()
+    nodes, net = build_small_server(env)
+    for label in ("GWtMin+LAS-Strings", "MBF-Strings", "TFS-Rain"):
+        system = facts[label](env, nodes, net)
+        assert hasattr(system, "session")
+
+
+def test_run_stream_experiment_collects_all_requests():
+    facts = system_factories()
+    app = app_by_short("GA")
+    stream = exponential_stream(app, RandomStream(1), 5, load_factor=1.0)
+    run = run_stream_experiment(
+        facts["GMin-Strings"], [stream], build_small_server, label="t"
+    )
+    assert len(run.results) == 5
+    assert run.sim_time_s > 0
+    assert set(run.per_app()) == {"GA"}
+
+
+def test_run_stream_experiment_deterministic_under_seed():
+    facts = system_factories()
+    app = app_by_short("BS")
+
+    def once():
+        stream = exponential_stream(app, RandomStream(9, "det"), 4, 1.2)
+        run = run_stream_experiment(
+            facts["GRR-Strings"], [stream], build_small_server
+        )
+        return sorted(r.completion_s for r in run.results)
+
+    assert once() == once()
+
+
+def test_prewarm_sft_populates_all_apps():
+    env = Environment()
+    nodes, net = build_small_server(env)
+    system = StringsSystem(env, nodes, net, balancing=GMin())
+    prewarm_sft(system)
+    from repro.apps import ALL_APPS
+
+    for app in ALL_APPS:
+        assert system.sft.known(app.short)
+    row = system.sft.lookup("MC")
+    assert row.transfer_fraction > 0.9  # MC is transfer-dominated
+
+
+def test_prewarm_sft_noop_for_cuda_baseline():
+    facts = system_factories()
+    env = Environment()
+    nodes, net = build_small_server(env)
+    system = facts["CUDA"](env, nodes, net)
+    prewarm_sft(system)  # no mapper: must not raise
+
+
+def test_solo_completion_time_close_to_analytic():
+    facts = system_factories()
+    app = app_by_short("BS")
+    t = solo_completion_time(facts["CUDA"], app, build_single_gpu_server)
+    assert t == pytest.approx(app.solo_runtime_s(), rel=0.05)
+
+
+def test_closed_loop_counts_at_least_one_request_each():
+    facts = system_factories()
+    apps = [app_by_short("BS"), app_by_short("GA")]
+    out = closed_loop_shared_run(
+        facts["GMin-Strings"], apps, build_single_gpu_server, window_s=15.0
+    )
+    assert set(out) == {"BS", "GA"}
+    assert all(v > 0 for v in out.values())
+
+
+def test_family_of():
+    assert family_of("GWtMin+LAS-Rain") == "Rain"
+    assert family_of("MBF-Strings") == "Strings"
+
+
+# -- formatting ------------------------------------------------------------------
+
+
+def test_format_table_aligns():
+    out = format_table(["a", "longer"], [[1.5, "x"], [22.25, "yy"]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "1.50" in out
+    assert "22.25" in out
+
+
+def test_format_table_empty_rows():
+    out = format_table(["h1", "h2"], [])
+    assert "h1" in out
+
+
+def test_format_series():
+    out = format_series("s", ["a", "b"], [1.234, 5.0], y_fmt="{:.1f}")
+    assert out == "s: a:1.2 b:5.0"
+
+
+def test_geomean():
+    assert geomean([1.0, 4.0]) == pytest.approx(2.0)

@@ -1,0 +1,359 @@
+"""Unit tests for the DES kernel: environment, events, processes."""
+
+import pytest
+
+from repro.sim import (
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+)
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_clock_custom_start():
+    env = Environment(initial_time=10.0)
+    assert env.now == 10.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(3.5)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 3.5
+    assert env.now == 3.5
+
+
+def test_timeout_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_run_until_time_stops_clock():
+    env = Environment()
+
+    def ticker(env):
+        while True:
+            yield env.timeout(1.0)
+
+    env.process(ticker(env))
+    env.run(until=5.0)
+    assert env.now == 5.0
+
+
+def test_run_until_past_time_rejected():
+    env = Environment(initial_time=10.0)
+    with pytest.raises(ValueError):
+        env.run(until=5.0)
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(2.0)
+        return "done"
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == "done"
+
+
+def test_processes_interleave_deterministically():
+    env = Environment()
+    log = []
+
+    def worker(env, name, delay):
+        yield env.timeout(delay)
+        log.append((env.now, name))
+
+    env.process(worker(env, "a", 2.0))
+    env.process(worker(env, "b", 1.0))
+    env.process(worker(env, "c", 2.0))
+    env.run()
+    assert log == [(1.0, "b"), (2.0, "a"), (2.0, "c")]
+
+
+def test_same_time_events_fifo_order():
+    env = Environment()
+    log = []
+
+    def worker(env, name):
+        yield env.timeout(1.0)
+        log.append(name)
+
+    for name in "abcde":
+        env.process(worker(env, name))
+    env.run()
+    assert log == list("abcde")
+
+
+def test_event_succeed_carries_value():
+    env = Environment()
+    ev = env.event()
+
+    def waiter(env, ev):
+        value = yield ev
+        return value
+
+    def firer(env, ev):
+        yield env.timeout(1.0)
+        ev.succeed(42)
+
+    w = env.process(waiter(env, ev))
+    env.process(firer(env, ev))
+    env.run()
+    assert w.value == 42
+
+
+def test_event_fail_raises_in_waiter():
+    env = Environment()
+    ev = env.event()
+
+    def waiter(env, ev):
+        try:
+            yield ev
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    def firer(env, ev):
+        yield env.timeout(1.0)
+        ev.fail(ValueError("boom"))
+
+    w = env.process(waiter(env, ev))
+    env.process(firer(env, ev))
+    env.run()
+    assert w.value == "caught boom"
+
+
+def test_unhandled_failure_surfaces_as_simulation_error():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1.0)
+        raise RuntimeError("kaput")
+
+    env.process(bad(env))
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_event_double_trigger_rejected():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(RuntimeError):
+        ev.succeed(2)
+    with pytest.raises(RuntimeError):
+        ev.fail(ValueError())
+
+
+def test_event_fail_requires_exception():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")
+
+
+def test_event_value_before_trigger_rejected():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(RuntimeError):
+        _ = ev.value
+    with pytest.raises(RuntimeError):
+        _ = ev.ok
+
+
+def test_process_waits_on_other_process():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(3.0)
+        return "child-result"
+
+    def parent(env):
+        result = yield env.process(child(env))
+        return (env.now, result)
+
+    p = env.process(parent(env))
+    env.run()
+    assert p.value == (3.0, "child-result")
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+
+    def proc(env):
+        t1 = env.timeout(1.0, value="one")
+        t2 = env.timeout(4.0, value="four")
+        results = yield env.all_of([t1, t2])
+        return (env.now, results[t1], results[t2])
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == (4.0, "one", "four")
+
+
+def test_any_of_returns_on_first_event():
+    env = Environment()
+
+    def proc(env):
+        t1 = env.timeout(1.0, value="fast")
+        t2 = env.timeout(4.0, value="slow")
+        results = yield env.any_of([t1, t2])
+        assert t1 in results
+        assert t2 not in results
+        return env.now
+
+    p = env.process(proc(env))
+    env.run(until=10.0)
+    assert p.value == 1.0
+
+
+def test_and_or_operators_compose_events():
+    env = Environment()
+
+    def proc(env):
+        a = env.timeout(1.0)
+        b = env.timeout(2.0)
+        yield a & b
+        first = env.now
+        c = env.timeout(1.0)
+        d = env.timeout(5.0)
+        yield c | d
+        return (first, env.now)
+
+    p = env.process(proc(env))
+    env.run(until=20.0)
+    assert p.value == (2.0, 3.0)
+
+
+def test_empty_all_of_triggers_immediately():
+    env = Environment()
+
+    def proc(env):
+        yield env.all_of([])
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 0.0
+
+
+def test_interrupt_raises_in_target_process():
+    env = Environment()
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100.0)
+            return "slept"
+        except Interrupt as i:
+            return ("interrupted", i.cause, env.now)
+
+    def interrupter(env, victim):
+        yield env.timeout(2.0)
+        victim.interrupt("wake-up")
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert victim.value == ("interrupted", "wake-up", 2.0)
+
+
+def test_interrupt_dead_process_rejected():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1.0)
+
+    p = env.process(quick(env))
+    env.run()
+    with pytest.raises(RuntimeError):
+        p.interrupt()
+
+
+def test_interrupted_process_can_reawait_target():
+    env = Environment()
+
+    def sleeper(env):
+        target = env.timeout(10.0)
+        try:
+            yield target
+        except Interrupt:
+            pass
+        yield target  # resume waiting on the same timeout
+        return env.now
+
+    def interrupter(env, victim):
+        yield env.timeout(3.0)
+        victim.interrupt()
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert victim.value == 10.0
+
+
+def test_env_exit_terminates_process_with_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1.0)
+        env.exit("early")
+        yield env.timeout(100.0)  # pragma: no cover - unreachable
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == "early"
+
+
+def test_yield_non_event_fails_process():
+    env = Environment()
+
+    def bad(env):
+        yield 42
+
+    env.process(bad(env))
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_process_is_alive_lifecycle():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(5.0)
+
+    p = env.process(proc(env))
+    assert p.is_alive
+    env.run()
+    assert not p.is_alive
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    env.timeout(7.0)
+    assert env.peek() == 7.0
+    env2 = Environment()
+    assert env2.peek() == float("inf")
+
+
+def test_run_until_event_already_processed():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1.0)
+        return "v"
+
+    p = env.process(proc(env))
+    env.run()
+    assert env.run(until=p) == "v"

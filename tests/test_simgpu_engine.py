@@ -1,0 +1,206 @@
+"""Unit tests for the compute and copy engine models."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.simgpu import (
+    TESLA_C2050,
+    CopyEngine,
+    CopyKind,
+    CopyOp,
+    KernelOp,
+    SharedComputeEngine,
+)
+from repro.simgpu.trace import BusyTracer
+
+
+def make_engine(env, spec=TESLA_C2050, tracer=None):
+    return SharedComputeEngine(env, spec, tracer=tracer)
+
+
+def run_kernels(spec, kernels, stagger=0.0):
+    """Run kernels concurrently (optionally staggered); return finish times."""
+    env = Environment()
+    eng = make_engine(env, spec)
+    finish = {}
+
+    def submit(env, k, delay, idx):
+        if delay:
+            yield env.timeout(delay)
+        yield eng.execute(k)
+        finish[idx] = env.now
+
+    for i, k in enumerate(kernels):
+        env.process(submit(env, k, stagger * i, i))
+    env.run()
+    return finish
+
+
+def test_single_kernel_takes_solo_time():
+    k = KernelOp(flops=103.0, bytes_accessed=0.001)
+    finish = run_kernels(TESLA_C2050, [k])
+    expected = k.solo_time(TESLA_C2050) + TESLA_C2050.kernel_launch_latency_s
+    assert finish[0] == pytest.approx(expected, rel=1e-9)
+
+
+def test_two_low_occupancy_kernels_fully_overlap():
+    # Each fills less than half the SMs and uses little bandwidth: full
+    # overlap (penalty-free spec to assert the exact SM-sharing math).
+    spec = TESLA_C2050.scaled(concurrency_penalty=0.0)
+    k1 = KernelOp(flops=103.0, bytes_accessed=0.01, occupancy=0.4)
+    k2 = KernelOp(flops=103.0, bytes_accessed=0.01, occupancy=0.4)
+    finish = run_kernels(spec, [k1, k2])
+    solo = k1.solo_time(spec) + spec.kernel_launch_latency_s
+    assert finish[0] == pytest.approx(solo, rel=1e-6)
+    assert finish[1] == pytest.approx(solo, rel=1e-6)
+
+
+def test_concurrency_penalty_slows_coresident_kernels():
+    # With the default character-collision penalty, two co-resident
+    # kernels each run at 1/(1 + penalty) of full rate.
+    k1 = KernelOp(flops=103.0, bytes_accessed=0.01, occupancy=0.4)
+    k2 = KernelOp(flops=103.0, bytes_accessed=0.01, occupancy=0.4)
+    finish = run_kernels(TESLA_C2050, [k1, k2])
+    solo = k1.solo_time(TESLA_C2050)
+    expected = solo * (1.0 + TESLA_C2050.concurrency_penalty)
+    assert finish[0] == pytest.approx(expected, rel=1e-3)
+
+
+def test_two_full_occupancy_kernels_share_sms():
+    # Both want all SMs: each runs at half rate, finishing together at 2x.
+    spec = TESLA_C2050.scaled(concurrency_penalty=0.0)
+    k1 = KernelOp(flops=103.0, bytes_accessed=0.01, occupancy=1.0)
+    k2 = KernelOp(flops=103.0, bytes_accessed=0.01, occupancy=1.0)
+    finish = run_kernels(spec, [k1, k2])
+    solo = k1.solo_time(spec) + spec.kernel_launch_latency_s
+    assert finish[0] == pytest.approx(2 * solo, rel=1e-4)
+    assert finish[1] == pytest.approx(2 * solo, rel=1e-4)
+
+
+def test_memory_bound_pair_interferes():
+    # Two bandwidth-saturating kernels co-run: memory is the bottleneck,
+    # so each is slowed even at low occupancy.
+    k1 = KernelOp(flops=0.001, bytes_accessed=14.4, occupancy=0.3)
+    k2 = KernelOp(flops=0.001, bytes_accessed=14.4, occupancy=0.3)
+    finish = run_kernels(TESLA_C2050, [k1, k2])
+    solo = k1.solo_time(TESLA_C2050)
+    assert finish[0] > 1.5 * solo  # each roughly halved
+
+
+def test_compute_plus_memory_bound_pair_coexists():
+    # A compute-bound kernel suffers little next to a bandwidth hog — the
+    # asymmetry the MBF policy exploits.
+    compute = KernelOp(flops=103.0, bytes_accessed=0.01, occupancy=0.5)
+    memory = KernelOp(flops=0.001, bytes_accessed=14.4, occupancy=0.5)
+    finish = run_kernels(TESLA_C2050, [compute, memory])
+    solo_compute = compute.solo_time(TESLA_C2050) + TESLA_C2050.kernel_launch_latency_s
+    assert finish[0] <= 1.1 * solo_compute
+
+
+def test_staggered_arrival_slows_first_kernel_tail():
+    k1 = KernelOp(flops=103.0, bytes_accessed=0.01, occupancy=1.0)
+    k2 = KernelOp(flops=103.0, bytes_accessed=0.01, occupancy=1.0)
+    solo = k1.solo_time(TESLA_C2050)
+    finish = run_kernels(TESLA_C2050, [k1, k2], stagger=solo / 2)
+    # k1 runs alone for solo/2, then shares: total > solo.
+    assert finish[0] > solo
+    assert finish[0] < 2 * solo
+    # k2 arrives at solo/2, shares until k1 finishes, then runs alone.
+    assert finish[1] > finish[0]
+
+
+def test_engine_completed_counter():
+    env = Environment()
+    eng = make_engine(env)
+
+    def go(env):
+        yield eng.execute(KernelOp(flops=1.0, bytes_accessed=0.01))
+        yield eng.execute(KernelOp(flops=1.0, bytes_accessed=0.01))
+
+    env.process(go(env))
+    env.run()
+    assert eng.completed == 2
+    assert eng.active_count == 0
+
+
+def test_engine_utilization_fraction():
+    env = Environment()
+    eng = make_engine(env)
+    k = KernelOp(flops=103.0, bytes_accessed=0.001)  # 0.1 s
+
+    def go(env):
+        yield eng.execute(k)
+        yield env.timeout(0.1)  # idle tail
+
+    env.process(go(env))
+    env.run()
+    assert eng.utilization() == pytest.approx(0.5, rel=1e-2)
+
+
+def test_engine_completion_record_fields():
+    env = Environment()
+    eng = make_engine(env)
+    k = KernelOp(flops=1.0, bytes_accessed=0.001, tag="probe")
+    records = []
+
+    def go(env):
+        rec = yield eng.execute(k)
+        records.append(rec)
+
+    env.process(go(env))
+    env.run()
+    (rec,) = records
+    assert rec["op"] is k
+    assert rec["started_at"] == 0.0
+    assert rec["finished_at"] == pytest.approx(rec["solo_time"])
+
+
+def test_tracer_records_kernel_intervals():
+    env = Environment()
+    tracer = BusyTracer()
+    eng = make_engine(env, tracer=tracer)
+
+    def go(env):
+        yield eng.execute(KernelOp(flops=1.0, bytes_accessed=0.001))
+
+    env.process(go(env))
+    env.run()
+    assert len(tracer.intervals) == 1
+    assert tracer.intervals[0].start == 0.0
+
+
+# -- CopyEngine ----------------------------------------------------------------
+
+
+def test_copy_engine_fifo_serializes():
+    env = Environment()
+    eng = CopyEngine(env, TESLA_C2050, "h2d")
+    op = lambda: CopyOp(nbytes=58_000_000, kind=CopyKind.H2D, pinned=True)  # 10ms
+    finish = []
+
+    def go(env, idx):
+        rec = yield eng.execute(op())
+        finish.append((idx, env.now, rec["started_at"]))
+
+    env.process(go(env, 0))
+    env.process(go(env, 1))
+    env.run()
+    finish.sort()
+    t_one = 0.01 + TESLA_C2050.copy_latency_s
+    assert finish[0][1] == pytest.approx(t_one, rel=1e-4)
+    assert finish[1][1] == pytest.approx(2 * t_one, rel=1e-4)
+    assert finish[1][2] >= finish[0][1]  # second started after first ended
+
+
+def test_copy_engine_busy_time_accumulates():
+    env = Environment()
+    eng = CopyEngine(env, TESLA_C2050, "h2d")
+
+    def go(env):
+        yield eng.execute(CopyOp(nbytes=58_000_000, kind=CopyKind.H2D, pinned=True))
+
+    env.process(go(env))
+    env.run()
+    assert eng.busy_time == pytest.approx(0.01 + TESLA_C2050.copy_latency_s, rel=1e-4)
+    assert eng.completed == 1
+    assert not eng.busy
