@@ -154,7 +154,29 @@ def run_request(
     arrived = env.now if arrival_s is None else arrival_s
     start = env.now
 
+    tel = env.telemetry
+    root = None
+    if tel.enabled:
+        root = tel.start_span(
+            f"request:{spec.short}",
+            cat="request",
+            track=f"app:{spec.short}",
+            args={"app": spec.short, "rid": rid, "tenant": session.tenant_id},
+            start=arrived,
+        )
+        session.root_span = root
+
+    bound_at = env.now
     yield session.bind(programmed_device)
+    if root is not None:
+        tel.start_span(
+            f"bind:{spec.short}",
+            cat="bind",
+            track=f"app:{spec.short}",
+            parent=root,
+            args={"app": spec.short, "rid": rid},
+            start=bound_at,
+        ).finish(env.now)
     ptr = yield session.malloc(spec.buffer_bytes)
     yield env.timeout(spec.cpu_pre_s)
 
@@ -173,6 +195,9 @@ def run_request(
 
     yield session.free(ptr)
     yield session.finish()
+    if root is not None:
+        root.finish(env.now)
+        tel.histogram("request.completion_s", app=spec.short).observe(env.now - arrived)
     return RequestResult(
         app=spec.short,
         request_id=rid,

@@ -55,6 +55,15 @@ class GpuAffinityMapper:
         the DST with this application's expected footprint."""
         gid = self.policy.select(self.pool, self.pool.dst, app_name, frontend_host)
 
+        # Snapshot the alternatives *before* charging the DST, so the
+        # decision log reflects exactly what the policy consulted.
+        tel = self.env.telemetry
+        scores = (
+            self.policy.scores(self.pool, self.pool.dst, app_name, frontend_host)
+            if tel.enabled
+            else None
+        )
+
         est_rt, est_util, profile = 0.0, 0.0, None
         row = self.sft.lookup(app_name)
         if row is not None:
@@ -62,6 +71,19 @@ class GpuAffinityMapper:
             est_rt = est if est is not None else 0.0
             est_util = row.gpu_utilization
             profile = (row.transfer_fraction, row.memory_bandwidth_gbps)
+
+        if tel.enabled:
+            tel.decisions.record_placement(
+                t=self.env.now,
+                app_name=app_name,
+                frontend_host=frontend_host,
+                policy=self.policy.name,
+                chosen_gid=gid,
+                scores=scores,
+                est_runtime_s=est_rt,
+                sft_known=row is not None,
+            )
+            tel.counter("mapper.bindings", policy=self.policy.name).inc()
 
         self.pool.dst.bind(gid, est_rt, est_util, profile)
         self.bindings_made += 1
@@ -83,6 +105,9 @@ class GpuAffinityMapper:
         Policy Arbiter path, piggybacked on the thread-exit response)."""
         self.sft.update(profile)
         self.feedback_received += 1
+        tel = self.env.telemetry
+        if tel.enabled:
+            tel.counter("mapper.feedback_received").inc()
 
     def __repr__(self) -> str:
         return f"<GpuAffinityMapper policy={self.policy.name} gpus={len(self.pool)}>"

@@ -89,6 +89,14 @@ class PolicyArbiter:
             self.mapper.policy = self.feedback_policy
             self.switched_at_profile = self._profiles
             self.transitions.append((self._profiles, self.feedback_policy.name))
+            env = self.mapper.env
+            env.telemetry.decisions.record_switch(
+                t=env.now,
+                from_policy=self.static_policy.name,
+                to_policy=self.feedback_policy.name,
+                profiles_seen=self._profiles,
+                distinct_apps=len(self._seen_apps),
+            )
 
     def __repr__(self) -> str:
         return (

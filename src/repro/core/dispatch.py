@@ -15,19 +15,39 @@ not the GPU.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable, Optional
 
+from repro.obs.instruments import Counter
 from repro.sim import Environment, Event
 from repro.core.rcb import GpuPhase, RcbEntry
 
 
 class DispatchGate:
-    """Wake/sleep control over the backend threads of one device."""
+    """Wake/sleep control over the backend threads of one device.
 
-    def __init__(self, env: Environment) -> None:
+    Signal deliveries are counted by registry-backed instruments
+    (``dispatch.wakes`` / ``dispatch.sleeps``, labelled by GID): the
+    counters always count, and are adopted into the run's telemetry
+    registry so they show up in metric exports when tracing is on.
+    """
+
+    def __init__(self, env: Environment, gid: Optional[int] = None) -> None:
         self.env = env
-        self.wakes = 0
-        self.sleeps = 0
+        labels = {} if gid is None else {"gid": gid}
+        self._wakes = Counter("dispatch.wakes", **labels)
+        self._sleeps = Counter("dispatch.sleeps", **labels)
+        env.telemetry.register(self._wakes)
+        env.telemetry.register(self._sleeps)
+
+    @property
+    def wakes(self) -> int:
+        """Wake signals delivered so far."""
+        return int(self._wakes.value)
+
+    @property
+    def sleeps(self) -> int:
+        """Sleep signals delivered so far."""
+        return int(self._sleeps.value)
 
     # -- session side ------------------------------------------------------
 
@@ -54,7 +74,7 @@ class DispatchGate:
         if entry.awake:
             return
         entry.awake = True
-        self.wakes += 1
+        self._wakes.inc()
         waiters, entry._waiters = entry._waiters, []
         for ev in waiters:
             if not ev.triggered:
@@ -65,7 +85,7 @@ class DispatchGate:
         if not entry.awake:
             return
         entry.awake = False
-        self.sleeps += 1
+        self._sleeps.inc()
 
     def set_awake_exactly(self, entries: Iterable[RcbEntry], awake: Iterable[RcbEntry]) -> None:
         """Make exactly ``awake`` awake among ``entries`` (others sleep)."""

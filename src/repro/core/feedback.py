@@ -77,17 +77,28 @@ class SchedulerFeedbackTable:
     alpha:
         Smoothing factor for the exponential moving averages (weight of
         the newest sample).
+    telemetry:
+        Optional observability registry; when enabled, SFT folds are
+        counted per application (``sft.updates``) and the table size is
+        tracked (``sft.rows``), so a trace shows how fast the feedback
+        path warms the balancer up.
     """
 
-    def __init__(self, alpha: float = 0.5) -> None:
+    def __init__(self, alpha: float = 0.5, telemetry=None) -> None:
         if not 0.0 < alpha <= 1.0:
             raise ValueError(f"alpha must be in (0, 1], got {alpha}")
         self.alpha = alpha
+        self.telemetry = telemetry
         self._rows: Dict[str, SftRow] = {}
         self.updates = 0
 
     def update(self, profile: AppProfile) -> None:
         """Fold a completed run's profile into the table."""
+        if self.telemetry is not None and self.telemetry.enabled:
+            self.telemetry.counter("sft.updates", app=profile.app_name).inc()
+            self.telemetry.gauge("sft.rows").set(
+                len(self._rows) + (0 if profile.app_name in self._rows else 1)
+            )
         row = self._rows.get(profile.app_name)
         if row is None:
             row = SftRow(app_name=profile.app_name)

@@ -169,6 +169,8 @@ class GPool:
                 )
                 self._devices[gid] = device
                 self._node_of[gid] = node
+                # Name the device's trace tracks after its global id.
+                device.set_track(f"GPU{gid}")
                 gid += 1
         self.gmap = GMap(entries)
 

@@ -60,7 +60,7 @@ class GpuScheduler:
         self.config = config
         self.feedback_sink = feedback_sink
         self.rcb = RequestControlBlock(env)
-        self.gate = DispatchGate(env)
+        self.gate = DispatchGate(env, gid=gid)
         self.profiles_sent = 0
         self._dispatcher = env.process(
             self.policy.dispatcher(self), name=f"dispatcher:gid{gid}"
@@ -83,6 +83,10 @@ class GpuScheduler:
             # Gated policies own the wake signal: threads start asleep and
             # wait for their first slice.
             entry.awake = False
+        tel = self.env.telemetry
+        if tel.enabled:
+            tel.counter("scheduler.registrations", gid=self.gid).inc()
+            tel.gauge("scheduler.rcb_live", gid=self.gid).set(len(self.rcb))
         return entry
 
     def unregister(self, entry: RcbEntry) -> AppProfile:
@@ -92,6 +96,16 @@ class GpuScheduler:
         if self.feedback_sink is not None:
             self.feedback_sink(profile)
             self.profiles_sent += 1
+        tel = self.env.telemetry
+        if tel.enabled:
+            tel.counter("scheduler.profiles_emitted", gid=self.gid).inc()
+            tel.gauge("scheduler.rcb_live", gid=self.gid).set(len(self.rcb))
+            tel.histogram("scheduler.app_gpu_time_s", gid=self.gid).observe(
+                profile.gpu_time_s
+            )
+            tel.histogram("scheduler.app_transfer_time_s", gid=self.gid).observe(
+                profile.transfer_time_s
+            )
         return profile
 
     # -- gate passthrough (used by sessions) --------------------------------------

@@ -16,7 +16,7 @@ Device Status Table:
 from __future__ import annotations
 
 import abc
-from typing import List, Optional
+from typing import Dict
 
 from repro.core.gpool import DeviceStatusTable, GPool
 
@@ -36,6 +36,21 @@ class BalancingPolicy(abc.ABC):
         frontend_host: str,
     ) -> int:
         """Return the GID the application should bind to."""
+
+    def scores(
+        self,
+        pool: GPool,
+        dst: DeviceStatusTable,
+        app_name: str,
+        frontend_host: str,
+    ) -> Dict[int, float]:
+        """Per-GID attractiveness (lower = better) at decision time.
+
+        Purely observational — the decision log records this alongside
+        each placement.  The default exposes the DST's raw device load;
+        policies with a richer objective override it.
+        """
+        return {row.gid: float(row.device_load) for row in dst.rows()}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__}>"
@@ -89,6 +104,9 @@ class GWtMin(BalancingPolicy):
             return (row.device_load / row.weight, 0 if local else 1, row.gid)
 
         return min(dst.rows(), key=key).gid
+
+    def scores(self, pool, dst, app_name, frontend_host):
+        return {row.gid: row.device_load / row.weight for row in dst.rows()}
 
 
 __all__ = ["BalancingPolicy", "GMin", "GRR", "GWtMin"]

@@ -51,6 +51,15 @@ class FeedbackPolicy(BalancingPolicy):
     def _select(self, pool, dst, app_name, frontend_host) -> int:
         raise NotImplementedError
 
+    def scores(self, pool, dst, app_name, frontend_host):
+        if not self.sft.known(app_name):
+            return self.fallback.scores(pool, dst, app_name, frontend_host)
+        return self._scores(pool, dst, app_name, frontend_host)
+
+    def _scores(self, pool, dst, app_name, frontend_host):
+        """Feedback-regime score table; default mirrors the base class."""
+        return {row.gid: float(row.device_load) for row in dst.rows()}
+
     # -- shared helpers ----------------------------------------------------
 
     def expected_runtime(self, app_name: str, row: DeviceStatus) -> float:
@@ -79,6 +88,12 @@ class RTF(FeedbackPolicy):
 
         return min(dst.rows(), key=key).gid
 
+    def _scores(self, pool, dst, app_name, frontend_host):
+        return {
+            row.gid: row.estimated_load_s + self.expected_runtime(app_name, row)
+            for row in dst.rows()
+        }
+
 
 class GUF(FeedbackPolicy):
     """GPU Utilization Feedback: spread the heavy hitters apart."""
@@ -96,6 +111,9 @@ class GUF(FeedbackPolicy):
             )
 
         return min(dst.rows(), key=key).gid
+
+    def _scores(self, pool, dst, app_name, frontend_host):
+        return {row.gid: row.utilization_load for row in dst.rows()}
 
 
 def _transfer_similarity(app_tf: float, profiles: List[Tuple[float, float]]) -> float:
@@ -135,6 +153,14 @@ class DTF(FeedbackPolicy):
 
         return min(dst.rows(), key=key).gid
 
+    def _scores(self, pool, dst, app_name, frontend_host):
+        row_sft = self.sft.lookup(app_name)
+        app_tf = row_sft.transfer_fraction if row_sft else 0.0
+        return {
+            row.gid: _transfer_similarity(app_tf, row.bound_profiles)
+            for row in dst.rows()
+        }
+
 
 class MBF(FeedbackPolicy):
     """Memory Bandwidth Feedback: never stack bandwidth-bound tenants.
@@ -165,6 +191,16 @@ class MBF(FeedbackPolicy):
             )
 
         return min(dst.rows(), key=key).gid
+
+    def _scores(self, pool, dst, app_name, frontend_host):
+        row_sft = self.sft.lookup(app_name)
+        app_bw = row_sft.memory_bandwidth_gbps if row_sft else 0.0
+        return {
+            row.gid: _bandwidth_oversubscription(
+                app_bw, row.bound_profiles, row.spec.mem_bandwidth_gbps
+            )
+            for row in dst.rows()
+        }
 
 
 __all__ = ["DTF", "FeedbackPolicy", "GUF", "MBF", "RTF"]

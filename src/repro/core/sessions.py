@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.obs.spans import CAT_GATE, CAT_QUEUE, PHASE_CATEGORY
 from repro.sim import Environment, Event, Store
 from repro.simgpu import CopyKind
 from repro.cuda.errors import CudaError, CudaErrorCode
@@ -138,14 +139,15 @@ class DirectSession(GpuSession):
 class _IssueItem:
     """One queued backend operation."""
 
-    __slots__ = ("phase", "make", "blocking", "done", "gated")
+    __slots__ = ("phase", "make", "blocking", "done", "gated", "posted_at")
 
-    def __init__(self, phase, make, blocking, done, gated=True):
+    def __init__(self, phase, make, blocking, done, gated=True, posted_at=0.0):
         self.phase = phase
         self.make = make  # callable -> device completion Event (or None)
         self.blocking = blocking
         self.done = done  # Event fired with the op's result
         self.gated = gated
+        self.posted_at = posted_at  # sim time the session enqueued the op
 
 
 class ManagedSession(GpuSession):
@@ -216,29 +218,86 @@ class ManagedSession(GpuSession):
         env = self.env
         while True:
             item: _IssueItem = yield self._queue.get()
+            tel = env.telemetry
+            if tel.enabled:
+                self._obs_queue_wait(tel, item)
             if item.gated and self.scheduler is not None and self.entry is not None:
+                parked_at = env.now
                 yield self.scheduler.permission(self.entry, item.phase)
                 self.entry.issue()
+                if tel.enabled:
+                    self._obs_gate_park(tel, item, parked_at)
+            op_span = None
+            if tel.enabled:
+                op_span = tel.start_span(
+                    f"{item.phase.value}:{self.app_name}",
+                    cat=PHASE_CATEGORY.get(item.phase.value, "default"),
+                    track=f"app:{self.app_name}",
+                    parent=self.root_span,
+                    args={"app": self.app_name, "phase": item.phase.value},
+                )
             completion = item.make()
             if completion is None:
+                if op_span is not None:
+                    op_span.finish(env.now)
                 item.done.succeed(None)
                 continue
             if item.blocking:
                 try:
                     result = yield completion
                 except Exception as exc:  # noqa: BLE001 - marshalled upward
+                    if op_span is not None:
+                        op_span.finish(env.now)
                     if item.gated:
                         self._complete_accounting(None)
                     item.done.fail(exc)
                     continue
+                if op_span is not None:
+                    op_span.finish(env.now)
                 if item.gated:
                     self._complete_accounting(result)
                 item.done.succeed(result)
             else:
-                self._hook_completion(completion, item.done, account=item.gated)
+                self._hook_completion(
+                    completion, item.done, account=item.gated, span=op_span
+                )
 
-    def _hook_completion(self, completion: Event, done: Event, account: bool = True) -> None:
+    # -- observability hooks (only reached when telemetry is enabled) --------
+
+    def _obs_queue_wait(self, tel, item: _IssueItem) -> None:
+        """Record the op's wait in the backend issue queue."""
+        wait = self.env.now - item.posted_at
+        tel.histogram("session.queue_wait_s", app=self.app_name).observe(wait)
+        if wait > 0:
+            tel.start_span(
+                f"queue:{self.app_name}",
+                cat=CAT_QUEUE,
+                track=f"app:{self.app_name}",
+                parent=self.root_span,
+                args={"app": self.app_name, "phase": item.phase.value},
+                start=item.posted_at,
+            ).finish(self.env.now)
+
+    def _obs_gate_park(self, tel, item: _IssueItem, parked_at: float) -> None:
+        """Record time parked at the dispatch gate waiting for a wake."""
+        parked = self.env.now - parked_at
+        tel.histogram("session.gate_park_s", app=self.app_name).observe(parked)
+        if parked > 0:
+            tel.start_span(
+                f"gate:{self.app_name}",
+                cat=CAT_GATE,
+                track=f"app:{self.app_name}",
+                parent=self.root_span,
+                args={"app": self.app_name, "phase": item.phase.value},
+                start=parked_at,
+            ).finish(self.env.now)
+
+    def _hook_completion(
+        self, completion: Event, done: Event, account: bool = True, span=None
+    ) -> None:
         def _cb(evt: Event) -> None:
+            if span is not None:
+                span.finish(self.env.now)
             if evt.ok:
                 if account:
                     self._complete_accounting(evt.value)
@@ -264,7 +323,9 @@ class ManagedSession(GpuSession):
 
     def _post(self, phase: GpuPhase, make, blocking: bool, gated: bool = True) -> Event:
         done = self.env.event()
-        self._queue.put(_IssueItem(phase, make, blocking, done, gated))
+        self._queue.put(
+            _IssueItem(phase, make, blocking, done, gated, posted_at=self.env.now)
+        )
         if phase is not GpuPhase.DFL:
             self._last_gpu_op = done
         return done
@@ -485,7 +546,18 @@ class StringsSession(ManagedSession):
         # then the app *continues* (sync -> async translation).
         yield env.timeout(self._req())
         yield env.timeout(self.rpc.bulk_data_delay(self.network, self._local, nbytes))
+        staged_at = env.now
         yield env.timeout(self.rpc.staging_delay(nbytes))
+        tel = env.telemetry
+        if tel.enabled and env.now > staged_at:
+            tel.start_span(
+                f"staging:{self.app_name}",
+                cat="staging",
+                track=f"app:{self.app_name}",
+                parent=self.root_span,
+                args={"app": self.app_name, "bytes": nbytes},
+                start=staged_at,
+            ).finish(env.now)
         self._post(
             GpuPhase.H2D,
             lambda: self.packed.memcpy_async_staged(nbytes, CopyKind.H2D, tag=self.app_name),

@@ -80,7 +80,7 @@ class _ScheduledSystem:
         self.rpc = rpc or RpcCostModel()
         self.config = config
         self.pool = GPool(self.nodes)
-        self.sft = SchedulerFeedbackTable()
+        self.sft = SchedulerFeedbackTable(telemetry=env.telemetry)
 
         balancing = balancing if balancing is not None else GRR()
         if isinstance(balancing, FeedbackPolicy) and balancing.sft is not self.sft:

@@ -4,9 +4,10 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 
+import repro.obs as obs
 from repro.harness.runner import SCALE_PAPER, SCALE_QUICK
+from repro.obs import Telemetry, summary_table, write_chrome_trace, write_metrics
 
 EXPERIMENTS = [
     "table1", "fig1", "fig2", "fig9", "fig10",
@@ -33,19 +34,58 @@ def main(argv=None) -> int:
         default="paper",
         help="experiment size (quick = CI-sized runs)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome trace_event JSON of the run(s) to PATH "
+        "(open in Perfetto / chrome://tracing)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write a flat JSON dump of all collected metrics to PATH",
+    )
     args = parser.parse_args(argv)
     scale = SCALE_QUICK if args.scale == "quick" else SCALE_PAPER
 
-    targets = EXPERIMENTS if args.experiment == "all" else [args.experiment]
-    for name in targets:
-        module = __import__(f"repro.harness.{name}", fromlist=["main"])
-        t0 = time.time()
-        print(f"==== {name} ".ljust(70, "="))
-        if name in ("table1", "fig1"):
-            module.main()
-        else:
-            module.main(scale)
-        print(f"[{name} done in {time.time() - t0:.1f}s]\n")
+    # Fail on unwritable output paths now, not after the experiments ran.
+    for path in (args.trace, args.metrics_out):
+        if path is not None:
+            try:
+                with open(path, "a"):
+                    pass
+            except OSError as e:
+                parser.error(f"cannot write {path}: {e}")
+
+    tracing = args.trace is not None or args.metrics_out is not None
+    tel = obs.install(Telemetry()) if tracing else obs.current()
+
+    try:
+        targets = EXPERIMENTS if args.experiment == "all" else [args.experiment]
+        for name in targets:
+            module = __import__(f"repro.harness.{name}", fromlist=["main"])
+            print(f"==== {name} ".ljust(70, "="))
+            with tel.stopwatch("experiment.wall_s", experiment=name) as sw:
+                if name in ("table1", "fig1"):
+                    module.main()
+                else:
+                    module.main(scale)
+            print(f"[{name} done in {sw.elapsed:.1f}s]\n")
+
+        if args.trace is not None:
+            write_chrome_trace(tel, args.trace)
+            print(f"[trace written to {args.trace}]")
+        if args.metrics_out is not None:
+            write_metrics(tel, args.metrics_out)
+            print(f"[metrics written to {args.metrics_out}]")
+        if tracing:
+            print()
+            print(summary_table(tel))
+    finally:
+        if tracing:
+            obs.reset()
     return 0
 
 

@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+import repro.obs as obs
 from repro.sim import Environment
 from repro.sim.rng import RandomStream
 from repro.cluster import Network, Node
@@ -157,6 +157,7 @@ def run_stream_experiment(
     testbed: Callable[[Environment], Tuple[List[Node], Network]],
     label: str = "",
     prewarm: bool = False,
+    telemetry=None,
 ) -> StreamRunResult:
     """Run request streams (one per node index) through a system.
 
@@ -164,10 +165,13 @@ def run_stream_experiment(
     time, opens a session on its node and drives :func:`run_request`.
     ``prewarm=True`` seeds the system's SFT with analytic solo profiles
     (the "system has seen this application before" steady state of the
-    feedback experiments).
+    feedback experiments).  ``telemetry`` overrides the installed default
+    registry (see :mod:`repro.obs`); spans/decisions of this run are
+    labelled ``label``.
     """
-    wall0 = time.time()
-    env = Environment()
+    tel = telemetry if telemetry is not None else obs.current()
+    env = Environment(telemetry=tel)
+    tel.run_label = label
     nodes, network = testbed(env)
     system = factory(env, nodes, network)
 
@@ -193,12 +197,14 @@ def run_stream_experiment(
         for req in stream:
             procs.append(env.process(launcher(req), name=f"req:{req.app.short}"))
 
-    env.run(until=env.all_of(procs))
+    with tel.stopwatch("harness.wall_s", label=label) as sw:
+        env.run(until=env.all_of(procs))
+    tel.gauge("harness.sim_time_s", label=label).set(env.now)
     return StreamRunResult(
         label=label,
         results=collected,
         sim_time_s=env.now,
-        wall_time_s=time.time() - wall0,
+        wall_time_s=sw.elapsed,
     )
 
 

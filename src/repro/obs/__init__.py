@@ -1,0 +1,88 @@
+"""``repro.obs`` — the end-to-end tracing & metrics layer (ISSUE 1).
+
+A simulation-time-aware observability subsystem threaded through the
+whole stack:
+
+* :mod:`repro.obs.instruments` — counters, gauges, log-scale histograms
+  and sim-time spans on a per-run :class:`Telemetry` registry (with a
+  no-op null registry as the always-on default);
+* :mod:`repro.obs.spans` — the request-span taxonomy and per-phase
+  latency breakdown queries;
+* :mod:`repro.obs.decisions` — the structured scheduler decision log
+  (Target-GPU-Selector placements, Policy Arbiter switches);
+* :mod:`repro.obs.export` — Chrome ``trace_event`` JSON, flat metrics
+  dumps and the per-run summary table.
+
+The **default registry** is a process-wide slot consulted by
+:class:`~repro.sim.core.Environment` when no registry is passed
+explicitly: :func:`install` a real :class:`Telemetry` and every
+simulation constructed afterwards — any figure harness included — is
+traced; :func:`reset` restores the null registry.
+"""
+
+from repro.obs.decisions import (
+    DecisionLog,
+    NullDecisionLog,
+    PlacementDecision,
+    PolicySwitch,
+)
+from repro.obs.export import (
+    metrics_dict,
+    summary_table,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.obs.instruments import (
+    NULL_TELEMETRY,
+    Counter,
+    Gauge,
+    Histogram,
+    NullTelemetry,
+    Span,
+    Stopwatch,
+    Telemetry,
+)
+
+_default: Telemetry = NULL_TELEMETRY
+
+
+def install(telemetry: Telemetry) -> Telemetry:
+    """Make ``telemetry`` the process-wide default registry."""
+    global _default
+    _default = telemetry
+    return telemetry
+
+
+def current() -> Telemetry:
+    """The installed default registry (the null registry unless installed)."""
+    return _default
+
+
+def reset() -> None:
+    """Restore the null default registry."""
+    install(NULL_TELEMETRY)
+
+
+__all__ = [
+    "Counter",
+    "DecisionLog",
+    "Gauge",
+    "Histogram",
+    "NULL_TELEMETRY",
+    "NullDecisionLog",
+    "NullTelemetry",
+    "PlacementDecision",
+    "PolicySwitch",
+    "Span",
+    "Stopwatch",
+    "Telemetry",
+    "current",
+    "install",
+    "metrics_dict",
+    "reset",
+    "summary_table",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_metrics",
+]

@@ -1,0 +1,253 @@
+"""Exporters: Chrome trace_event JSON, flat metrics dump, summary table.
+
+* :func:`to_chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  ``trace_event`` format (the JSON array flavour wrapped in an object),
+  loadable in Perfetto or ``chrome://tracing``.  Each experiment run
+  becomes one *process* (pid) and each span track (one per GPU engine +
+  one per app) becomes a named *thread* (tid); scheduler decisions are
+  instant events on a dedicated ``scheduler`` track.
+* :func:`metrics_dict` / :func:`write_metrics` — every counter, gauge and
+  histogram as one flat JSON document.
+* :func:`summary_table` — the human-readable per-run digest the harness
+  prints after an instrumented run.
+
+Timestamps: trace_event ``ts`` is in microseconds; simulated seconds are
+scaled by 1e6, so one trace-viewer second equals one simulated second.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Tuple
+
+from repro.obs.instruments import Counter, Gauge, Histogram, Telemetry
+from repro.obs.spans import CAT_REQUEST, mean_phase_latency, phase_breakdown, request_spans
+
+_US = 1e6  # simulated seconds -> trace microseconds
+
+#: Track used for scheduler decision instant events.
+SCHEDULER_TRACK = "scheduler"
+
+
+class _TrackIds:
+    """Stable pid/tid assignment: pid per run, tid per track within it."""
+
+    def __init__(self) -> None:
+        self._pids: Dict[Tuple[int, str], int] = {}
+        self._tids: Dict[Tuple[int, str], int] = {}
+        self.meta: List[dict] = []
+
+    def pid(self, run_id: int, run_label: str) -> int:
+        key = (run_id, run_label)
+        pid = self._pids.get(key)
+        if pid is None:
+            pid = len(self._pids) + 1
+            self._pids[key] = pid
+            name = run_label or "run"
+            self.meta.append(
+                {
+                    "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                    "args": {"name": f"{name} [run {run_id}]"},
+                }
+            )
+        return pid
+
+    def tid(self, pid: int, track: str) -> int:
+        key = (pid, track)
+        tid = self._tids.get(key)
+        if tid is None:
+            tid = sum(1 for (p, _t) in self._tids if p == pid) + 1
+            self._tids[key] = tid
+            self.meta.append(
+                {
+                    "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                    "args": {"name": track},
+                }
+            )
+        return tid
+
+
+def to_chrome_trace(telemetry: Telemetry) -> Dict[str, Any]:
+    """Render the registry's spans + decisions as a trace_event document."""
+    ids = _TrackIds()
+    events: List[dict] = []
+
+    for s in telemetry.spans:
+        if not s.finished:
+            continue
+        pid = ids.pid(s.run_id, s.run_label)
+        tid = ids.tid(pid, s.track or "main")
+        ev = {
+            "name": s.name,
+            "cat": s.cat or "span",
+            "ph": "X",
+            "ts": round(s.start * _US, 3),
+            "dur": round(s.duration * _US, 3),
+            "pid": pid,
+            "tid": tid,
+        }
+        if s.args:
+            ev["args"] = s.args
+        events.append(ev)
+
+    for p in telemetry.decisions.placements:
+        pid = ids.pid(p.run_id, p.run_label)
+        tid = ids.tid(pid, SCHEDULER_TRACK)
+        events.append(
+            {
+                "name": f"place {p.app_name} -> GPU{p.chosen_gid}",
+                "cat": "decision",
+                "ph": "i",
+                "s": "t",
+                "ts": round(p.t * _US, 3),
+                "pid": pid,
+                "tid": tid,
+                "args": {
+                    "policy": p.policy,
+                    "chosen_gid": p.chosen_gid,
+                    "frontend_host": p.frontend_host,
+                    "scores": {str(g): v for g, v in p.scores.items()},
+                    "est_runtime_s": p.est_runtime_s,
+                    "sft_known": p.sft_known,
+                },
+            }
+        )
+
+    for sw in telemetry.decisions.switches:
+        pid = ids.pid(sw.run_id, sw.run_label)
+        tid = ids.tid(pid, SCHEDULER_TRACK)
+        events.append(
+            {
+                "name": f"policy switch {sw.from_policy} -> {sw.to_policy}",
+                "cat": "decision",
+                "ph": "i",
+                "s": "p",
+                "ts": round(sw.t * _US, 3),
+                "pid": pid,
+                "tid": tid,
+                "args": {
+                    "profiles_seen": sw.profiles_seen,
+                    "distinct_apps": sw.distinct_apps,
+                },
+            }
+        )
+
+    return {"traceEvents": ids.meta + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(telemetry: Telemetry, path: str) -> None:
+    """Write the Chrome trace JSON to ``path``."""
+    with open(path, "w") as fh:
+        json.dump(to_chrome_trace(telemetry), fh)
+
+
+def metrics_dict(telemetry: Telemetry) -> Dict[str, Any]:
+    """Every instrument as one flat JSON-serialisable document.
+
+    Instruments sharing a series name (e.g. adopted per-gate counters
+    from successive runs) are merged: counters sum, gauges keep the last
+    value and the global extremes.
+    """
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, Dict[str, float]] = {}
+    histograms: Dict[str, Dict[str, Any]] = {}
+
+    for inst in telemetry.instruments():
+        key = inst.series
+        if isinstance(inst, Histogram):
+            h = histograms.get(key)
+            if h is None:
+                histograms[key] = h = {
+                    "count": 0, "sum": 0.0, "min": None, "max": None,
+                    "p50": inst.quantile(0.5), "p99": inst.quantile(0.99),
+                    "buckets": [],
+                }
+            h["count"] += inst.count
+            h["sum"] += inst.sum
+            if inst.count:
+                h["min"] = inst.min if h["min"] is None else min(h["min"], inst.min)
+                h["max"] = inst.max if h["max"] is None else max(h["max"], inst.max)
+            h["buckets"] = [[b, n] for b, n in inst.bucket_bounds()]
+            h["mean"] = h["sum"] / h["count"] if h["count"] else 0.0
+        elif isinstance(inst, Gauge):
+            g = gauges.get(key)
+            if g is None:
+                gauges[key] = {
+                    "value": inst.value, "max": inst.max_value, "min": inst.min_value,
+                }
+            else:
+                g["value"] = inst.value
+                g["max"] = max(g["max"], inst.max_value)
+                g["min"] = min(g["min"], inst.min_value)
+        elif isinstance(inst, Counter):
+            counters[key] = counters.get(key, 0) + inst.value
+
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": dict(sorted(histograms.items())),
+        "decisions": {
+            "placements": len(telemetry.decisions.placements),
+            "switches": len(telemetry.decisions.switches),
+            "policy_mix": telemetry.decisions.policy_mix(),
+        },
+        "spans": len(telemetry.spans),
+        "runs": telemetry.run_id,
+    }
+
+
+def write_metrics(telemetry: Telemetry, path: str) -> None:
+    """Write the flat metrics dump to ``path``."""
+    with open(path, "w") as fh:
+        json.dump(metrics_dict(telemetry), fh, indent=2, sort_keys=True)
+
+
+def summary_table(telemetry: Telemetry) -> str:
+    """Human-readable per-run digest of an instrumented run."""
+    lines = ["== observability summary ".ljust(70, "=")]
+    roots = request_spans(telemetry)
+    done = [s for s in roots if s.finished]
+    lines.append(
+        f"runs: {telemetry.run_id}   requests traced: {len(roots)} "
+        f"({len(done)} completed)   spans: {len(telemetry.spans)}"
+    )
+    if done:
+        total = sum(s.duration for s in done)
+        lines.append(
+            f"request completion: mean {total / len(done):.4f}s over {len(done)} requests"
+        )
+    breakdown = phase_breakdown(telemetry)
+    if breakdown:
+        cats = sorted({c for per_app in breakdown.values() for c in per_app})
+        header = "app".ljust(8) + "".join(c.rjust(12) for c in cats)
+        lines.append("per-phase span seconds (session side):")
+        lines.append("  " + header)
+        for app in sorted(breakdown):
+            row = app.ljust(8) + "".join(
+                f"{breakdown[app].get(c, 0.0):12.4f}" for c in cats
+            )
+            lines.append("  " + row)
+    mean_gate = mean_phase_latency(telemetry, "gate")
+    mean_queue = mean_phase_latency(telemetry, "queue")
+    lines.append(
+        f"mean queue wait: {mean_queue:.6f}s   mean gate park: {mean_gate:.6f}s"
+    )
+    dec = telemetry.decisions
+    lines.append(
+        f"decisions: {len(dec.placements)} placements, {len(dec.switches)} "
+        f"policy switches   mix: {dec.policy_mix() or '{}'}"
+    )
+    per_gid = {g: len(ps) for g, ps in sorted(dec.by_gid().items())}
+    if per_gid:
+        lines.append(f"placements per GID: {per_gid}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "SCHEDULER_TRACK",
+    "metrics_dict",
+    "summary_table",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_metrics",
+]

@@ -1,0 +1,113 @@
+"""Request-span taxonomy and per-phase breakdown queries.
+
+Every end-user request gets a **root span** (created by the request
+driver in :mod:`repro.apps.models`), with child spans recorded by the
+session issue loop and the device engines:
+
+==========  ============================================================
+category    meaning
+==========  ============================================================
+request     root: arrival to completion of one end-user request
+bind        ``cudaSetDevice`` interception: balancer placement + backend
+            worker creation + scheduler registration
+queue       op waiting in the session's backend issue queue (FIFO)
+gate        op parked at the dispatch gate (device policy held the
+            backend thread asleep)
+kernel      kernel execution — session-side (issue to completion) and
+            engine-side (resident on the SM array)
+copy        memcpy execution (H2D / D2H), session- and engine-side
+staging     MOT pinned-staging delay on the frontend
+default     ungated default-phase ops (malloc / free / synchronize)
+==========  ============================================================
+
+The module also provides the post-run queries that make per-phase
+latency breakdowns "fall out" of any traced run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs.instruments import Span, Telemetry
+
+CAT_REQUEST = "request"
+CAT_BIND = "bind"
+CAT_QUEUE = "queue"
+CAT_GATE = "gate"
+CAT_KERNEL = "kernel"
+CAT_COPY = "copy"
+CAT_STAGING = "staging"
+CAT_DEFAULT = "default"
+
+#: Session-side categories that partition a request's managed-path time.
+REQUEST_PHASES = (CAT_BIND, CAT_QUEUE, CAT_GATE, CAT_KERNEL, CAT_COPY, CAT_STAGING, CAT_DEFAULT)
+
+#: GpuPhase.value -> span category for session-side op spans.
+PHASE_CATEGORY = {
+    "kernel-launch": CAT_KERNEL,
+    "host-to-device": CAT_COPY,
+    "device-to-host": CAT_COPY,
+    "default": CAT_DEFAULT,
+}
+
+
+def request_spans(telemetry: Telemetry) -> List[Span]:
+    """All root request spans, in start order."""
+    return [s for s in telemetry.spans if s.cat == CAT_REQUEST]
+
+
+def children_of(telemetry: Telemetry, parent: Span) -> List[Span]:
+    """Direct children of ``parent``."""
+    return [s for s in telemetry.spans if s.parent_id == parent.span_id]
+
+
+def phase_breakdown(
+    telemetry: Telemetry,
+    app: Optional[str] = None,
+    engine_side: bool = False,
+) -> Dict[str, Dict[str, float]]:
+    """Total span seconds per application per phase category.
+
+    ``breakdown[app][cat]`` sums the durations of finished spans whose
+    ``args['app']`` matches.  By default only session-side spans (those
+    on ``app:*`` tracks) are summed so phases partition request time;
+    ``engine_side=True`` sums the device-engine spans instead (kernel
+    residency / DMA occupancy per app).
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for s in telemetry.spans:
+        if not s.finished or s.cat == CAT_REQUEST:
+            continue
+        on_app_track = s.track.startswith("app:")
+        if engine_side == on_app_track:
+            continue
+        name = (s.args or {}).get("app", "?")
+        if app is not None and name != app:
+            continue
+        per_app = out.setdefault(name, {})
+        per_app[s.cat] = per_app.get(s.cat, 0.0) + s.duration
+    return out
+
+
+def mean_phase_latency(telemetry: Telemetry, cat: str) -> float:
+    """Mean duration of finished spans in one category (0 if none)."""
+    durs = [s.duration for s in telemetry.spans if s.cat == cat and s.finished]
+    return sum(durs) / len(durs) if durs else 0.0
+
+
+__all__ = [
+    "CAT_BIND",
+    "CAT_COPY",
+    "CAT_DEFAULT",
+    "CAT_GATE",
+    "CAT_KERNEL",
+    "CAT_QUEUE",
+    "CAT_REQUEST",
+    "CAT_STAGING",
+    "PHASE_CATEGORY",
+    "REQUEST_PHASES",
+    "children_of",
+    "mean_phase_latency",
+    "phase_breakdown",
+    "request_spans",
+]

@@ -61,6 +61,9 @@ class DesignIIMaster:
                 done.fail(exc)
                 continue
             self.calls_served += 1
+            tel = self.env.telemetry
+            if tel.enabled:
+                tel.counter("backend.design2_calls", device=self.device_index).inc()
             done.succeed(result)
 
 
@@ -100,7 +103,13 @@ class BackendDaemon:
         thread = proc.spawn_thread()
         thread.set_device(local_device)
         self.workers_created += 1
+        self._count_worker("design1")
         return thread
+
+    def _count_worker(self, design: str) -> None:
+        tel = self.env.telemetry
+        if tel.enabled:
+            tel.counter("backend.workers", design=design, host=self.node.hostname).inc()
 
     # -- Design II --------------------------------------------------------------
 
@@ -133,6 +142,7 @@ class BackendDaemon:
         thread = proc.spawn_thread()
         thread.set_device(local_device)
         self.workers_created += 1
+        self._count_worker("design3")
         return thread
 
     def resident_tenants(self, local_device: int) -> int:

@@ -32,6 +32,10 @@ class GpuSession(abc.ABC):
         self.env = env
         self.app_name = app_name
         self.tenant_id = tenant_id
+        #: Root telemetry span of the request driving this session, set by
+        #: the request driver when tracing is enabled (else None); session
+        #: hooks parent their child spans under it.
+        self.root_span = None
 
     # -- lifecycle ----------------------------------------------------------
 

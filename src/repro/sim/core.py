@@ -5,6 +5,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Generator, List, Optional, Tuple, Union
 
+import repro.obs as _obs
 from repro.sim.events import (
     AllOf,
     AnyOf,
@@ -35,6 +36,11 @@ class Environment:
     *seconds* throughout this project) and the pending-event queue, and
     provides factories for events, timeouts and processes.
 
+    ``telemetry`` is the run's observability registry (see
+    :mod:`repro.obs`): pass a :class:`~repro.obs.Telemetry` to trace the
+    run, or leave it unset to use the process-wide default — the no-op
+    null registry unless a harness installed a real one.
+
     Examples
     --------
     >>> env = Environment()
@@ -47,11 +53,13 @@ class Environment:
     5.0
     """
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(self, initial_time: float = 0.0, telemetry=None) -> None:
         self._now = float(initial_time)
         self._queue: List[_QueueEntry] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        self.telemetry = telemetry if telemetry is not None else _obs.current()
+        self.telemetry.attach(self)
 
     # -- clock & introspection ---------------------------------------------
 

@@ -77,6 +77,21 @@ class GpuDevice:
         self.copies_completed = 0
         self.contexts: List[GpuContext] = []
 
+        # -- observability -----------------------------------------------------
+        self.track = f"gpu:{spec.name}"
+        self.set_track(self.track)
+
+    def set_track(self, label: str) -> None:
+        """Name this device's trace tracks (e.g. ``GPU3`` once the gPool
+        assigns a global id); engines become ``<label>/SM``, ``/H2D``..."""
+        self.track = label
+        self.compute.track = f"{label}/SM"
+        if self.d2h_engine is self.h2d_engine:
+            self.h2d_engine.track = f"{label}/DMA"
+        else:
+            self.h2d_engine.track = f"{label}/H2D"
+            self.d2h_engine.track = f"{label}/D2H"
+
     # -- context management ----------------------------------------------------
 
     def create_context(self, owner: Any) -> GpuContext:

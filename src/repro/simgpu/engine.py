@@ -48,6 +48,7 @@ class _RunningKernel:
     started_at: float
     solo_time: float
     boundedness: float  # memory-boundedness on this device
+    span: Optional[object] = None  # telemetry span (None when disabled)
 
 
 class SharedComputeEngine:
@@ -62,6 +63,8 @@ class SharedComputeEngine:
         self.env = env
         self.spec = spec
         self.tracer = tracer
+        #: Trace-track label; renamed to ``GPU<gid>/SM`` by the gPool.
+        self.track = f"gpu:{spec.name}/SM"
         self._running: Dict[int, _RunningKernel] = {}
         self._last_update = env.now
         self._wakeup: Optional[Event] = None
@@ -101,6 +104,14 @@ class SharedComputeEngine:
             self._busy_since = self.env.now
         if self.tracer is not None:
             self.tracer.begin(("kernel", op.op_id), self.env.now, tag=op.tag)
+        tel = self.env.telemetry
+        if tel.enabled:
+            entry.span = tel.start_span(
+                f"kernel:{op.tag}" if op.tag else "kernel",
+                cat="kernel",
+                track=self.track,
+                args={"app": op.tag, "occupancy": op.occupancy},
+            )
         self._recompute_rates()
         self._kick()
         return entry.done
@@ -181,6 +192,8 @@ class SharedComputeEngine:
                 self.completed += 1
                 if self.tracer is not None:
                     self.tracer.end(("kernel", e.op.op_id), env.now)
+                if e.span is not None:
+                    e.span.finish(env.now)
                 e.done.succeed(
                     {
                         "op": e.op,
@@ -207,6 +220,8 @@ class CopyEngine:
         self.spec = spec
         self.label = label
         self.tracer = tracer
+        #: Trace-track label; renamed to ``GPU<gid>/<LABEL>`` by the gPool.
+        self.track = f"gpu:{spec.name}/{label.upper()}"
         self._lane = Resource(env, capacity=1)
         self.busy_time = 0.0
         self.completed = 0
@@ -235,9 +250,20 @@ class CopyEngine:
             duration = op.solo_time(self.spec) + self.spec.copy_latency_s
             if self.tracer is not None:
                 self.tracer.begin(("copy", op.op_id), start, tag=op.tag or self.label)
+            tel = env.telemetry
+            span = None
+            if tel.enabled:
+                span = tel.start_span(
+                    f"{self.label}:{op.tag}" if op.tag else self.label,
+                    cat="copy",
+                    track=self.track,
+                    args={"app": op.tag, "bytes": op.nbytes},
+                )
             yield env.timeout(duration)
             if self.tracer is not None:
                 self.tracer.end(("copy", op.op_id), env.now)
+            if span is not None:
+                span.finish(env.now)
             self.busy_time += env.now - start
             self.completed += 1
         return {

@@ -52,7 +52,10 @@ class BusyTracer:
             raise ValueError(f"no open interval for key {key!r}") from None
         if t < start:
             raise ValueError(f"interval for {key!r} ends before it starts")
-        self.intervals.append(Interval(key, start, t, tag))
+        if t > start:
+            # Zero-duration intervals carry no busy time; recording them
+            # only bloats snapshots and timeline merges.
+            self.intervals.append(Interval(key, start, t, tag))
 
     def snapshot(self, horizon: float) -> List[Interval]:
         """All intervals, with still-open ones clipped at ``horizon``."""

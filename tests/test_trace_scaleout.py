@@ -36,6 +36,26 @@ def test_tracer_rejects_negative_interval():
         t.end("k", 1.0)
 
 
+def test_tracer_drops_zero_duration_intervals():
+    t = BusyTracer()
+    t.begin("k", 3.0)
+    t.end("k", 3.0)
+    assert t.intervals == []
+    # The pair is consumed: the key can be reopened.
+    t.begin("k", 4.0)
+    t.end("k", 6.0)
+    assert len(t.intervals) == 1
+    assert t.intervals[0].duration == pytest.approx(2.0)
+
+
+def test_snapshot_skips_open_interval_at_horizon():
+    t = BusyTracer()
+    t.begin("k", 5.0)
+    # A zero-length clipped interval would be degenerate: excluded.
+    assert t.snapshot(horizon=5.0) == []
+    assert t.snapshot(horizon=4.0) == []
+
+
 def test_snapshot_clips_open_intervals():
     t = BusyTracer()
     t.begin("k", 2.0)
@@ -60,6 +80,13 @@ def test_busy_fraction_empty_window():
     assert t.busy_fraction(0.0, 10.0) == 0.0
 
 
+def test_busy_fraction_inverted_window_is_zero():
+    t = BusyTracer()
+    t.begin("k", 0.0)
+    t.end("k", 10.0)
+    assert t.busy_fraction(8.0, 2.0) == 0.0
+
+
 # -- timelines -----------------------------------------------------------------------
 
 
@@ -67,6 +94,25 @@ def test_utilization_timeline_full_coverage_is_100():
     iv = [Interval("k", 0.0, 10.0)]
     _, util = utilization_timeline(iv, 0.0, 10.0, bins=10)
     assert np.allclose(util, 100.0)
+
+
+def test_utilization_timeline_merges_overlapping_intervals():
+    # Two overlapping intervals cover [0, 6) once — not 150%.
+    ivs = [Interval("a", 0.0, 4.0), Interval("b", 2.0, 6.0)]
+    _, util = utilization_timeline(ivs, 0.0, 6.0, bins=6)
+    assert np.allclose(util, 100.0)
+    # Coverage caps at 100 even with many stacked intervals.
+    ivs = [Interval(i, 0.0, 10.0) for i in range(5)]
+    _, util = utilization_timeline(ivs, 0.0, 10.0, bins=4)
+    assert np.allclose(util, 100.0)
+
+
+def test_utilization_timeline_gap_between_merged_spans():
+    ivs = [Interval("a", 0.0, 2.0), Interval("b", 1.0, 2.0), Interval("c", 8.0, 10.0)]
+    _, util = utilization_timeline(ivs, 0.0, 10.0, bins=5)
+    assert util[0] == pytest.approx(100.0)  # [0,2) fully covered once
+    assert np.allclose(util[1:4], 0.0)
+    assert util[4] == pytest.approx(100.0)
 
 
 def test_utilization_timeline_validation():
