@@ -1,0 +1,110 @@
+"""Observability overhead bench (ISSUE 2 bench-hygiene satellite).
+
+Runs a fig9-sized workload under three registries — null (observability
+off, the zero-overhead default), sampling-only (the continuous sampler
+and nothing else), and the full per-op registry (spans + attribution +
+sampler) — and records wall-clock times to ``BENCH_obs_overhead.json``
+at the repo root.  The gate: continuous sampling must cost < 10 % over
+the obs-off baseline.  The full registry is recorded for context only;
+its per-op spans are priced separately and deliberately (you only pay
+when exporting traces/reports).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/obs_overhead.py [--rounds N]
+
+The configurations run round-robin for ``--rounds`` rounds (default 3)
+after one warm-up pass, and the *minimum* wall time per configuration is
+compared — interleaving plus min-of-N discards scheduler and clock-speed
+noise rather than averaging it in.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+OUT_PATH = os.path.join(os.path.dirname(_SRC), "BENCH_obs_overhead.json")
+THRESHOLD = 0.10
+
+
+def workload(telemetry=None, sample_interval_s=1.0):
+    """One fig9-sized pass: every app's stream under GMin-Strings."""
+    from repro.apps import ALL_APPS
+    from repro.cluster import build_small_server
+    from repro.harness.runner import SCALE_QUICK, run_stream_experiment, system_factories
+    from repro.obs import Sampler
+    from repro.sim.rng import RandomStream
+    from repro.workloads import exponential_stream
+
+    factory = system_factories()["GMin-Strings"]
+    if telemetry is not None:
+        telemetry.sampler = Sampler(interval_s=sample_interval_s)
+    for app in ALL_APPS:
+        rng = RandomStream(SCALE_QUICK.seed, "bench-obs", app.short)
+        stream = exponential_stream(
+            app, rng, SCALE_QUICK.requests_per_stream, SCALE_QUICK.load_factor
+        )
+        run_stream_experiment(
+            factory, [stream], build_small_server,
+            label="bench-obs", telemetry=telemetry,
+        )
+
+
+def measure(rounds, configs):
+    """Min wall time per config, interleaved round-robin."""
+    best = {name: float("inf") for name in configs}
+    workload()  # warm-up: imports and code caches, outside the clock
+    for _ in range(rounds):
+        for name, make_telemetry in configs.items():
+            tel = make_telemetry()
+            t0 = time.perf_counter()
+            workload(telemetry=tel)
+            best[name] = min(best[name], time.perf_counter() - t0)
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    from repro.obs import SamplingTelemetry, Telemetry
+
+    best = measure(args.rounds, {
+        "off": lambda: None,  # null registry default
+        "sampler": SamplingTelemetry,
+        "full": Telemetry,
+    })
+    off_s, on_s, full_s = best["off"], best["sampler"], best["full"]
+    overhead = on_s / off_s - 1.0
+
+    record = {
+        "bench": "obs_overhead",
+        "workload": "fig9-sized (12 app streams, GMin-Strings, quick scale)",
+        "rounds": args.rounds,
+        "obs_off_wall_s": round(off_s, 4),
+        "sampler_on_wall_s": round(on_s, 4),
+        "full_registry_wall_s": round(full_s, 4),
+        "overhead_fraction": round(overhead, 4),
+        "full_registry_overhead_fraction": round(full_s / off_s - 1.0, 4),
+        "threshold_fraction": THRESHOLD,
+        "pass": overhead < THRESHOLD,
+    }
+    with open(OUT_PATH, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(record, indent=2))
+    if not record["pass"]:
+        print(f"FAIL: sampler overhead {overhead:.1%} >= {THRESHOLD:.0%}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -197,7 +197,14 @@ def run_request(
     yield session.finish()
     if root is not None:
         root.finish(env.now)
-        tel.histogram("request.completion_s", app=spec.short).observe(env.now - arrived)
+        completion = env.now - arrived
+        tel.histogram("request.completion_s", app=spec.short).observe(completion)
+        gid = getattr(getattr(session, "binding", None), "gid", programmed_device)
+        tel.attribution.record_request(
+            session.tenant_id, gid, spec.short, completion, spec.solo_runtime_s()
+        )
+        if tel.slo is not None:
+            tel.slo.observe(env.now, spec.short, session.tenant_id, completion)
     return RequestResult(
         app=spec.short,
         request_id=rid,

@@ -49,6 +49,11 @@ class DispatchGate:
         """Sleep signals delivered so far."""
         return int(self._sleeps.value)
 
+    @property
+    def signals(self) -> int:
+        """Total signal deliveries (wakes + sleeps); the sampler's input."""
+        return int(self._wakes.value + self._sleeps.value)
+
     # -- session side ------------------------------------------------------
 
     def permission(self, entry: RcbEntry, phase: GpuPhase) -> Event:

@@ -141,6 +141,19 @@ class SchedulerFeedbackTable:
             return row.runtime_by_gid[gid]
         return row.runtime_s
 
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Per-app summary of the smoothed state (for samplers/reports)."""
+        return {
+            name: {
+                "samples": row.samples,
+                "runtime_s": row.runtime_s,
+                "gpu_utilization": row.gpu_utilization,
+                "transfer_fraction": row.transfer_fraction,
+                "memory_bandwidth_gbps": row.memory_bandwidth_gbps,
+            }
+            for name, row in sorted(self._rows.items())
+        }
+
     def __len__(self) -> int:
         return len(self._rows)
 

@@ -106,6 +106,9 @@ class GpuScheduler:
             tel.histogram("scheduler.app_transfer_time_s", gid=self.gid).observe(
                 profile.transfer_time_s
             )
+            tel.attribution.record_profile(
+                entry.tenant_id, self.gid, profile.runtime_s
+            )
         return profile
 
     # -- gate passthrough (used by sessions) --------------------------------------

@@ -60,6 +60,13 @@ class FeedbackPolicy(BalancingPolicy):
         """Feedback-regime score table; default mirrors the base class."""
         return {row.gid: float(row.device_load) for row in dst.rows()}
 
+    def decision_mix(self):
+        """Cold-start fallback vs SFT-informed decision counts so far."""
+        return {
+            "fallback": self.fallback_decisions,
+            "feedback": self.feedback_decisions,
+        }
+
     # -- shared helpers ----------------------------------------------------
 
     def expected_runtime(self, app_name: str, row: DeviceStatus) -> float:

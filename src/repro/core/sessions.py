@@ -32,7 +32,7 @@ from typing import Callable, Optional
 
 from repro.obs.spans import CAT_GATE, CAT_QUEUE, PHASE_CATEGORY
 from repro.sim import Environment, Event, Store
-from repro.simgpu import CopyKind
+from repro.simgpu import CopyKind, CopyOp, KernelOp
 from repro.cuda.errors import CudaError, CudaErrorCode
 from repro.cluster.network import Network
 from repro.cluster.node import Node
@@ -268,6 +268,7 @@ class ManagedSession(GpuSession):
         """Record the op's wait in the backend issue queue."""
         wait = self.env.now - item.posted_at
         tel.histogram("session.queue_wait_s", app=self.app_name).observe(wait)
+        tel.attribution.record_wait(self.tenant_id, self._obs_gid(), queue_s=wait)
         if wait > 0:
             tel.start_span(
                 f"queue:{self.app_name}",
@@ -282,6 +283,7 @@ class ManagedSession(GpuSession):
         """Record time parked at the dispatch gate waiting for a wake."""
         parked = self.env.now - parked_at
         tel.histogram("session.gate_park_s", app=self.app_name).observe(parked)
+        tel.attribution.record_wait(self.tenant_id, self._obs_gid(), gate_s=parked)
         if parked > 0:
             tel.start_span(
                 f"gate:{self.app_name}",
@@ -315,11 +317,27 @@ class ManagedSession(GpuSession):
         else:
             completion.callbacks.append(_cb)
 
+    def _obs_gid(self) -> int:
+        """GID the session is bound to (-1 before binding completes)."""
+        return self.binding.gid if self.binding is not None else -1
+
     def _complete_accounting(self, record) -> None:
         if self.entry is not None and record is not None:
             self.entry.complete(record)
         elif self.entry is not None:
             self.entry.inflight = max(0, self.entry.inflight - 1)
+        tel = self.env.telemetry
+        if tel.enabled and isinstance(record, dict):
+            op = record.get("op")
+            seconds = record["finished_at"] - record["started_at"]
+            if isinstance(op, KernelOp):
+                tel.attribution.record_kernel(
+                    self.tenant_id, self._obs_gid(), seconds, op.bytes_accessed
+                )
+            elif isinstance(op, CopyOp):
+                tel.attribution.record_copy(
+                    self.tenant_id, self._obs_gid(), seconds, op.nbytes
+                )
 
     def _post(self, phase: GpuPhase, make, blocking: bool, gated: bool = True) -> Event:
         done = self.env.event()

@@ -7,7 +7,17 @@ import sys
 
 import repro.obs as obs
 from repro.harness.runner import SCALE_PAPER, SCALE_QUICK
-from repro.obs import Telemetry, summary_table, write_chrome_trace, write_metrics
+from repro.obs import (
+    Sampler,
+    Telemetry,
+    parse_slo_spec,
+    summary_table,
+    write_chrome_trace,
+    write_html_report,
+    write_metrics,
+    write_prometheus,
+    write_series_csv,
+)
 
 EXPERIMENTS = [
     "table1", "fig1", "fig2", "fig9", "fig10",
@@ -47,11 +57,59 @@ def main(argv=None) -> int:
         default=None,
         help="write a flat JSON dump of all collected metrics to PATH",
     )
+    parser.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help="write a self-contained HTML run report (per-GPU sparklines, "
+        "tenant attribution, SLO summary) to PATH",
+    )
+    parser.add_argument(
+        "--series-out",
+        metavar="PATH",
+        default=None,
+        help="write the sampled time series as long-format CSV to PATH",
+    )
+    parser.add_argument(
+        "--prom-out",
+        metavar="PATH",
+        default=None,
+        help="write final metrics in Prometheus text exposition to PATH",
+    )
+    parser.add_argument(
+        "--slo",
+        metavar="SPEC",
+        default=None,
+        help="SLO targets, e.g. 'MC:2.5,*:30:0.99,window=20' "
+        "(APP:LATENCY_S[:FRACTION], APP@THROUGHPUT_RPS, window=SECONDS)",
+    )
+    parser.add_argument(
+        "--sample-interval",
+        metavar="SIM_SECONDS",
+        type=float,
+        default=1.0,
+        help="sim-time interval between sampler snapshots (default 1.0)",
+    )
     args = parser.parse_args(argv)
     scale = SCALE_QUICK if args.scale == "quick" else SCALE_PAPER
 
+    if args.sample_interval <= 0:
+        parser.error(
+            f"--sample-interval must be > 0 sim-seconds, got {args.sample_interval}"
+        )
+
+    slo_monitor = None
+    if args.slo is not None:
+        try:
+            slo_monitor = parse_slo_spec(args.slo)
+        except ValueError as e:
+            parser.error(f"--slo: {e}")
+
+    out_paths = (
+        args.trace, args.metrics_out, args.report, args.series_out, args.prom_out,
+    )
     # Fail on unwritable output paths now, not after the experiments ran.
-    for path in (args.trace, args.metrics_out):
+    for path in out_paths:
         if path is not None:
             try:
                 with open(path, "a"):
@@ -59,8 +117,19 @@ def main(argv=None) -> int:
             except OSError as e:
                 parser.error(f"cannot write {path}: {e}")
 
-    tracing = args.trace is not None or args.metrics_out is not None
-    tel = obs.install(Telemetry()) if tracing else obs.current()
+    # Any observing flag installs a real registry — including --metrics-out
+    # on its own, so its summary still carries span-derived p50/p99.
+    observing = any(p is not None for p in out_paths) or slo_monitor is not None
+    tel = obs.install(Telemetry()) if observing else obs.current()
+
+    # The sampler powers the series CSV, report sparklines and windowed
+    # SLO throughput checks; skip it when none of those were asked for.
+    if observing and (
+        args.report or args.series_out or args.prom_out or slo_monitor
+    ):
+        tel.sampler = Sampler(interval_s=args.sample_interval)
+    if slo_monitor is not None:
+        tel.slo = slo_monitor.bind(tel)
 
     try:
         targets = EXPERIMENTS if args.experiment == "all" else [args.experiment]
@@ -80,11 +149,22 @@ def main(argv=None) -> int:
         if args.metrics_out is not None:
             write_metrics(tel, args.metrics_out)
             print(f"[metrics written to {args.metrics_out}]")
-        if tracing:
+        if args.series_out is not None:
+            write_series_csv(tel, args.series_out)
+            print(f"[series CSV written to {args.series_out}]")
+        if args.prom_out is not None:
+            write_prometheus(tel, args.prom_out)
+            print(f"[prometheus metrics written to {args.prom_out}]")
+        if args.report is not None:
+            write_html_report(
+                tel, args.report, title=f"repro run report: {args.experiment}"
+            )
+            print(f"[HTML report written to {args.report}]")
+        if observing:
             print()
             print(summary_table(tel))
     finally:
-        if tracing:
+        if observing:
             obs.reset()
     return 0
 

@@ -178,6 +178,12 @@ def run_stream_experiment(
     if prewarm:
         prewarm_sft(system)
 
+    # Continuous sampling (ISSUE 2): the sampler loops forever, which is
+    # safe here because the run is bounded by the all_of(procs) horizon.
+    sampler = getattr(tel, "sampler", None)
+    if sampler is not None and tel.sampling:
+        sampler.start(env, system)
+
     collected: List[RequestResult] = []
     procs = []
 

@@ -9,9 +9,19 @@ whole stack:
 * :mod:`repro.obs.spans` — the request-span taxonomy and per-phase
   latency breakdown queries;
 * :mod:`repro.obs.decisions` — the structured scheduler decision log
-  (Target-GPU-Selector placements, Policy Arbiter switches);
+  (Target-GPU-Selector placements, Policy Arbiter switches, generic
+  events such as SLO violations);
+* :mod:`repro.obs.timeseries` — ring-buffered time series and the
+  sim-time :class:`Sampler` that snapshots per-GPU state (ISSUE 2);
+* :mod:`repro.obs.attribution` — per-(tenant, GPU) busy-time / bytes /
+  wait / interference accounting (ISSUE 2);
+* :mod:`repro.obs.slo` — per-workload SLO targets with windowed
+  burn-rate evaluation and structured violations (ISSUE 2);
 * :mod:`repro.obs.export` — Chrome ``trace_event`` JSON, flat metrics
-  dumps and the per-run summary table.
+  dumps, Prometheus text exposition, CSV series dumps and the per-run
+  summary table;
+* :mod:`repro.obs.report` — the self-contained static HTML run report
+  (sparklines, attribution table, SLO summary).
 
 The **default registry** is a process-wide slot consulted by
 :class:`~repro.sim.core.Environment` when no registry is passed
@@ -20,18 +30,29 @@ simulation constructed afterwards — any figure harness included — is
 traced; :func:`reset` restores the null registry.
 """
 
+from repro.obs.attribution import (
+    NULL_ATTRIBUTION,
+    AttributionTable,
+    NullAttributionTable,
+    TenantUsage,
+)
 from repro.obs.decisions import (
     DecisionLog,
+    LogEvent,
     NullDecisionLog,
     PlacementDecision,
     PolicySwitch,
 )
 from repro.obs.export import (
     metrics_dict,
+    series_csv,
     summary_table,
     to_chrome_trace,
+    to_prometheus,
     write_chrome_trace,
     write_metrics,
+    write_prometheus,
+    write_series_csv,
 )
 from repro.obs.instruments import (
     NULL_TELEMETRY,
@@ -39,10 +60,14 @@ from repro.obs.instruments import (
     Gauge,
     Histogram,
     NullTelemetry,
+    SamplingTelemetry,
     Span,
     Stopwatch,
     Telemetry,
 )
+from repro.obs.report import html_report, write_html_report
+from repro.obs.slo import SloMonitor, SloTarget, SloViolation, parse_slo_spec
+from repro.obs.timeseries import NULL_SERIES, Sampler, Series
 
 _default: Telemetry = NULL_TELEMETRY
 
@@ -65,24 +90,43 @@ def reset() -> None:
 
 
 __all__ = [
+    "AttributionTable",
     "Counter",
     "DecisionLog",
     "Gauge",
     "Histogram",
+    "LogEvent",
+    "NULL_ATTRIBUTION",
+    "NULL_SERIES",
     "NULL_TELEMETRY",
+    "NullAttributionTable",
     "NullDecisionLog",
     "NullTelemetry",
+    "SamplingTelemetry",
     "PlacementDecision",
     "PolicySwitch",
+    "Sampler",
+    "Series",
+    "SloMonitor",
+    "SloTarget",
+    "SloViolation",
     "Span",
     "Stopwatch",
     "Telemetry",
+    "TenantUsage",
     "current",
+    "html_report",
     "install",
     "metrics_dict",
+    "parse_slo_spec",
     "reset",
+    "series_csv",
     "summary_table",
     "to_chrome_trace",
+    "to_prometheus",
     "write_chrome_trace",
+    "write_html_report",
     "write_metrics",
+    "write_prometheus",
+    "write_series_csv",
 ]

@@ -17,7 +17,7 @@ them as instant events on the trace's scheduler track.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 
 @dataclass(frozen=True)
@@ -35,6 +35,18 @@ class PlacementDecision:
     #: SFT inputs consulted (empty when the app was unknown to the SFT).
     est_runtime_s: float = 0.0
     sft_known: bool = False
+    run_id: int = 0
+    run_label: str = ""
+
+
+@dataclass(frozen=True)
+class LogEvent:
+    """A generic structured event (e.g. an SLO violation)."""
+
+    t: float
+    kind: str
+    name: str
+    args: Dict[str, Any] = field(default_factory=dict)
     run_id: int = 0
     run_label: str = ""
 
@@ -59,6 +71,7 @@ class DecisionLog:
         self._telemetry = telemetry
         self.placements: List[PlacementDecision] = []
         self.switches: List[PolicySwitch] = []
+        self.events: List[LogEvent] = []
 
     # -- recording ---------------------------------------------------------
 
@@ -115,6 +128,26 @@ class DecisionLog:
         self.switches.append(rec)
         return rec
 
+    def record_event(
+        self,
+        t: float,
+        kind: str,
+        name: str,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> LogEvent:
+        """Record a generic structured event (SLO violations, anomalies)."""
+        run_id, run_label = self._run()
+        rec = LogEvent(
+            t=t,
+            kind=kind,
+            name=name,
+            args=dict(args) if args else {},
+            run_id=run_id,
+            run_label=run_label,
+        )
+        self.events.append(rec)
+        return rec
+
     # -- queries -----------------------------------------------------------
 
     def placements_for(self, app_name: str) -> List[PlacementDecision]:
@@ -135,8 +168,12 @@ class DecisionLog:
             out[p.policy] = out.get(p.policy, 0) + 1
         return out
 
+    def events_of(self, kind: str) -> List[LogEvent]:
+        """All generic events of one kind, in record order."""
+        return [e for e in self.events if e.kind == kind]
+
     def __len__(self) -> int:
-        return len(self.placements) + len(self.switches)
+        return len(self.placements) + len(self.switches) + len(self.events)
 
 
 class NullDecisionLog(DecisionLog):
@@ -148,12 +185,16 @@ class NullDecisionLog(DecisionLog):
     def record_switch(self, *a, **kw):  # type: ignore[override]
         return None
 
+    def record_event(self, *a, **kw):  # type: ignore[override]
+        return None
+
 
 NULL_DECISION_LOG = NullDecisionLog()
 
 
 __all__ = [
     "DecisionLog",
+    "LogEvent",
     "NULL_DECISION_LOG",
     "NullDecisionLog",
     "PlacementDecision",

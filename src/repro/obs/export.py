@@ -1,13 +1,18 @@
-"""Exporters: Chrome trace_event JSON, flat metrics dump, summary table.
+"""Exporters: Chrome trace_event JSON, metrics dumps, text expositions.
 
 * :func:`to_chrome_trace` / :func:`write_chrome_trace` — the Chrome
   ``trace_event`` format (the JSON array flavour wrapped in an object),
   loadable in Perfetto or ``chrome://tracing``.  Each experiment run
   becomes one *process* (pid) and each span track (one per GPU engine +
-  one per app) becomes a named *thread* (tid); scheduler decisions are
-  instant events on a dedicated ``scheduler`` track.
+  one per app) becomes a named *thread* (tid); scheduler decisions and
+  SLO violations are instant events on a dedicated ``scheduler`` track.
 * :func:`metrics_dict` / :func:`write_metrics` — every counter, gauge and
   histogram as one flat JSON document.
+* :func:`to_prometheus` / :func:`write_prometheus` — Prometheus text
+  exposition (``# TYPE`` lines, cumulative ``_bucket{le=...}``) of the
+  same instruments, for scrape-style tooling (ISSUE 2).
+* :func:`series_csv` / :func:`write_series_csv` — long-format CSV dump of
+  every sampled time series (ISSUE 2).
 * :func:`summary_table` — the human-readable per-run digest the harness
   prints after an instrumented run.
 
@@ -132,6 +137,22 @@ def to_chrome_trace(telemetry: Telemetry) -> Dict[str, Any]:
             }
         )
 
+    for ev in telemetry.decisions.events:
+        pid = ids.pid(ev.run_id, ev.run_label)
+        tid = ids.tid(pid, SCHEDULER_TRACK)
+        events.append(
+            {
+                "name": ev.name,
+                "cat": ev.kind,
+                "ph": "i",
+                "s": "t",
+                "ts": round(ev.t * _US, 3),
+                "pid": pid,
+                "tid": tid,
+                "args": dict(ev.args),
+            }
+        )
+
     return {"traceEvents": ids.meta + events, "displayTimeUnit": "ms"}
 
 
@@ -189,9 +210,28 @@ def metrics_dict(telemetry: Telemetry) -> Dict[str, Any]:
         "decisions": {
             "placements": len(telemetry.decisions.placements),
             "switches": len(telemetry.decisions.switches),
+            "events": len(telemetry.decisions.events),
             "policy_mix": telemetry.decisions.policy_mix(),
         },
         "spans": len(telemetry.spans),
+        "series": {
+            s.series: len(s) for s in telemetry.series.values()
+        },
+        "attribution": [
+            {
+                "tenant": u.tenant,
+                "gid": u.gid,
+                "gpu_busy_s": u.gpu_busy_s,
+                "transfer_s": u.transfer_s,
+                "bytes_moved_gb": u.bytes_moved_gb,
+                "queue_wait_s": u.queue_wait_s,
+                "gate_park_s": u.gate_park_s,
+                "requests": u.requests,
+                "interference_index": u.interference_index,
+            }
+            for u in telemetry.attribution.rows()
+        ],
+        "slo": telemetry.slo.summary() if telemetry.slo is not None else [],
         "runs": telemetry.run_id,
     }
 
@@ -200,6 +240,134 @@ def write_metrics(telemetry: Telemetry, path: str) -> None:
     """Write the flat metrics dump to ``path``."""
     with open(path, "w") as fh:
         json.dump(metrics_dict(telemetry), fh, indent=2, sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition (ISSUE 2)
+# ---------------------------------------------------------------------------
+
+
+def _prom_name(name: str) -> str:
+    """``request.completion_s`` -> ``repro_request_completion_s``."""
+    safe = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return f"repro_{safe}"
+
+
+def _prom_labels(labels: Tuple[Tuple[str, str], ...], extra: str = "") -> str:
+    parts = [
+        f'{k}="{v}"'.replace("\\", "\\\\").replace("\n", "\\n")
+        for k, v in labels
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _fmt(v: float) -> str:
+    if v != v:  # NaN
+        return "NaN"
+    if v in (float("inf"), float("-inf")):
+        return "+Inf" if v > 0 else "-Inf"
+    return f"{v:.10g}"
+
+
+def to_prometheus(telemetry: Telemetry) -> str:
+    """Final instrument values in the Prometheus text exposition format.
+
+    One ``# TYPE`` line per metric name; duplicate instruments sharing a
+    full series key are merged the same way :func:`metrics_dict` merges
+    them (counters sum, gauges keep last, histograms merge buckets).
+    """
+    counters: Dict[Tuple[str, tuple], float] = {}
+    gauges: Dict[Tuple[str, tuple], float] = {}
+    hists: Dict[Tuple[str, tuple], Dict[str, Any]] = {}
+
+    for inst in telemetry.instruments():
+        key = (inst.name, inst.labels)
+        if isinstance(inst, Histogram):
+            h = hists.setdefault(key, {"count": 0, "sum": 0.0, "buckets": {}})
+            h["count"] += inst.count
+            h["sum"] += inst.sum
+            h["buckets"].setdefault(0.0, 0)
+            h["buckets"][0.0] += inst.zeros
+            for bound, n in inst.bucket_bounds():
+                h["buckets"][bound] = h["buckets"].get(bound, 0) + n
+        elif isinstance(inst, Gauge):
+            gauges[key] = inst.value
+        elif isinstance(inst, Counter):
+            counters[key] = counters.get(key, 0) + inst.value
+
+    lines: List[str] = []
+    typed: set = set()
+
+    def type_line(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for (name, labels), value in sorted(counters.items()):
+        pname = _prom_name(name) + "_total"
+        type_line(pname, "counter")
+        lines.append(f"{pname}{_prom_labels(labels)} {_fmt(value)}")
+
+    for (name, labels), value in sorted(gauges.items()):
+        pname = _prom_name(name)
+        type_line(pname, "gauge")
+        lines.append(f"{pname}{_prom_labels(labels)} {_fmt(value)}")
+
+    for (name, labels), h in sorted(hists.items()):
+        pname = _prom_name(name)
+        type_line(pname, "histogram")
+        cum = 0
+        for bound in sorted(h["buckets"]):
+            cum += h["buckets"][bound]
+            le = 'le="' + _fmt(bound) + '"'
+            lines.append(f"{pname}_bucket{_prom_labels(labels, le)} {cum}")
+        inf = 'le="+Inf"'
+        lines.append(f"{pname}_bucket{_prom_labels(labels, inf)} {h['count']}")
+        lines.append(f"{pname}_sum{_prom_labels(labels)} {_fmt(h['sum'])}")
+        lines.append(f"{pname}_count{_prom_labels(labels)} {h['count']}")
+
+    # Sampled series appear as gauges at their last observed value, so a
+    # scrape of a finished run still carries the end-state of the system.
+    for skey in sorted(telemetry.series, key=lambda k: (k[0], k[1])):
+        s = telemetry.series[skey]
+        point = s.last()
+        if point is None:
+            continue
+        pname = _prom_name(s.name)
+        type_line(pname, "gauge")
+        lines.append(f"{pname}{_prom_labels(s.labels)} {_fmt(point[1])}")
+
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_prometheus(telemetry: Telemetry, path: str) -> None:
+    """Write the Prometheus text exposition to ``path``."""
+    with open(path, "w") as fh:
+        fh.write(to_prometheus(telemetry))
+
+
+# ---------------------------------------------------------------------------
+# CSV series dump (ISSUE 2)
+# ---------------------------------------------------------------------------
+
+
+def series_csv(telemetry: Telemetry) -> str:
+    """Every sampled time series in long format: ``name,labels,t,value``."""
+    lines = ["name,labels,t,value"]
+    for skey in sorted(telemetry.series, key=lambda k: (k[0], k[1])):
+        s = telemetry.series[skey]
+        labels = ";".join(f"{k}={v}" for k, v in s.labels)
+        for t, v in s.points():
+            lines.append(f"{s.name},{labels},{_fmt(t)},{_fmt(v)}")
+    return "\n".join(lines) + "\n"
+
+
+def write_series_csv(telemetry: Telemetry, path: str) -> None:
+    """Write the long-format series CSV to ``path``."""
+    with open(path, "w") as fh:
+        fh.write(series_csv(telemetry))
 
 
 def summary_table(telemetry: Telemetry) -> str:
@@ -212,9 +380,15 @@ def summary_table(telemetry: Telemetry) -> str:
         f"({len(done)} completed)   spans: {len(telemetry.spans)}"
     )
     if done:
-        total = sum(s.duration for s in done)
+        durations = sorted(s.duration for s in done)
+        total = sum(durations)
+        # Nearest-rank percentiles straight from the spans, so the digest
+        # is exact even when no histogram made it into the registry.
+        p50 = durations[(len(durations) - 1) // 2]
+        p99 = durations[min(len(durations) - 1, int(0.99 * (len(durations) - 1) + 0.5))]
         lines.append(
-            f"request completion: mean {total / len(done):.4f}s over {len(done)} requests"
+            f"request completion: mean {total / len(done):.4f}s  "
+            f"p50 {p50:.4f}s  p99 {p99:.4f}s  over {len(done)} requests"
         )
     breakdown = phase_breakdown(telemetry)
     if breakdown:
@@ -240,14 +414,46 @@ def summary_table(telemetry: Telemetry) -> str:
     per_gid = {g: len(ps) for g, ps in sorted(dec.by_gid().items())}
     if per_gid:
         lines.append(f"placements per GID: {per_gid}")
+    if len(telemetry.attribution):
+        lines.append("per-tenant attribution (all GPUs):")
+        lines.append(
+            "  " + "tenant".ljust(10) + "busy_s".rjust(10) + "moved_GB".rjust(10)
+            + "wait_s".rjust(10) + "reqs".rjust(7) + "interf".rjust(8)
+        )
+        for tenant, u in sorted(telemetry.attribution.per_tenant().items()):
+            lines.append(
+                "  " + tenant.ljust(10)
+                + f"{u.busy_s:10.3f}{u.bytes_moved_gb:10.3f}"
+                + f"{u.queue_wait_s + u.gate_park_s:10.3f}{u.requests:7d}"
+                + f"{u.interference_index:8.2f}"
+            )
+        spread = telemetry.attribution.fairness_spread()
+        if spread:
+            lines.append(f"  busy-time fairness spread (max/min): {spread:.2f}x")
+    if telemetry.slo is not None:
+        lines.append(f"SLO: {telemetry.slo.total_violations} violations")
+        for row in telemetry.slo.summary():
+            lines.append(
+                f"  {row['target']}: compliance {row['compliance'] * 100:.1f}% "
+                f"({row['violations']} violations, "
+                f"max burn rate {row['max_burn_rate']:.2f})"
+            )
+    n_series = len(telemetry.series)
+    if n_series:
+        samples = sum(s.total_appended for s in telemetry.series.values())
+        lines.append(f"time series: {n_series} series, {samples} samples")
     return "\n".join(lines)
 
 
 __all__ = [
     "SCHEDULER_TRACK",
     "metrics_dict",
+    "series_csv",
     "summary_table",
     "to_chrome_trace",
+    "to_prometheus",
     "write_chrome_trace",
     "write_metrics",
+    "write_prometheus",
+    "write_series_csv",
 ]

@@ -26,6 +26,7 @@ import math
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.obs.attribution import NULL_ATTRIBUTION, AttributionTable
 from repro.obs.decisions import NULL_DECISION_LOG, DecisionLog
 
 _span_ids = itertools.count(1)
@@ -249,9 +250,15 @@ class Telemetry:
     Holds every instrument, span and scheduler decision of a run (or of a
     sequence of runs — each :class:`~repro.sim.core.Environment` bumps
     ``run_id`` when it attaches, so exporters can keep runs apart).
+
+    ``enabled`` gates the per-op hot paths (spans, counters, attribution);
+    ``sampling`` gates the continuous :class:`~repro.obs.timeseries.Sampler`.
+    A full registry carries both; :class:`SamplingTelemetry` keeps only the
+    sampler; the null registry neither.
     """
 
     enabled = True
+    sampling = True
 
     def __init__(self) -> None:
         self._instruments: Dict[Tuple[type, InstrumentKey], Any] = {}
@@ -260,6 +267,16 @@ class Telemetry:
         self._adopted: List[Any] = []
         self.spans: List[Span] = []
         self.decisions = DecisionLog(self)
+        #: Ring-buffered time series, keyed like instruments (ISSUE 2).
+        self.series: Dict[InstrumentKey, Any] = {}
+        #: Per-tenant usage/interference accounting (ISSUE 2).
+        self.attribution = AttributionTable()
+        #: Optional sim-time sampler, attached by the harness (ISSUE 2).
+        self.sampler = None
+        #: Optional SLO monitor, attached by the harness (ISSUE 2).
+        self.slo = None
+        #: Latest SFT snapshot per run label, refreshed by the sampler.
+        self.sft_state: Dict[str, Any] = {}
         self.run_id = 0
         self.run_label = ""
         self._clock: Callable[[], float] = lambda: 0.0
@@ -298,6 +315,20 @@ class Telemetry:
     def register(self, instrument) -> None:
         """Adopt an externally created instrument into metric exports."""
         self._adopted.append(instrument)
+
+    def timeseries(self, name: str, capacity: int = 1024, **labels: Any):
+        """The ring-buffered :class:`~repro.obs.timeseries.Series` for
+        ``(name, labels)``, created on first use (``capacity`` applies
+        only at creation)."""
+        # Local import: timeseries depends on this module's label helpers.
+        from repro.obs.timeseries import Series
+
+        key = (name, _labels_key(labels))
+        s = self.series.get(key)
+        if s is None:
+            s = Series(name, capacity=capacity, **labels)
+            self.series[key] = s
+        return s
 
     def stopwatch(self, name: Optional[str] = None, **labels: Any) -> Stopwatch:
         """A wall-clock timer; records into ``name`` when given."""
@@ -378,10 +409,24 @@ class _NullSpan(Span):
         return self
 
 
+class SamplingTelemetry(Telemetry):
+    """Sampling-only registry: the interval sampler (and the series,
+    gauges and SLO ticks it feeds) stays live, but the per-op hot paths
+    — spans, op counters, tenant attribution — see ``enabled = False``
+    and skip their work entirely.  This is the cheap way to watch
+    utilization and queue depths on long runs: the per-op layer costs
+    tens of percent of wall clock, the sampler low single digits (see
+    ``BENCH_obs_overhead.json``).
+    """
+
+    enabled = False
+
+
 class NullTelemetry(Telemetry):
     """Disabled registry: drops everything, allocates nothing per call."""
 
     enabled = False
+    sampling = False
 
     def __init__(self) -> None:
         super().__init__()
@@ -390,6 +435,7 @@ class NullTelemetry(Telemetry):
         self._histogram = _NullHistogram("null")
         self._span = _NullSpan("null", "", "", 0.0)
         self.decisions = NULL_DECISION_LOG
+        self.attribution = NULL_ATTRIBUTION
 
     def attach(self, env) -> None:
         pass
@@ -405,6 +451,11 @@ class NullTelemetry(Telemetry):
 
     def register(self, instrument) -> None:
         pass
+
+    def timeseries(self, name: str, capacity: int = 1024, **labels: Any):
+        from repro.obs.timeseries import NULL_SERIES
+
+        return NULL_SERIES
 
     def stopwatch(self, name: Optional[str] = None, **labels: Any) -> Stopwatch:
         # Still measures (callers read .elapsed) but records nowhere.
@@ -427,6 +478,7 @@ __all__ = [
     "Histogram",
     "NULL_TELEMETRY",
     "NullTelemetry",
+    "SamplingTelemetry",
     "Span",
     "Stopwatch",
     "Telemetry",

@@ -1,0 +1,392 @@
+"""Self-contained static HTML run report (ISSUE 2).
+
+:func:`html_report` renders one telemetry registry — possibly holding
+several experiment runs — into a single HTML file with no external
+assets: inline SVG sparklines for the sampled per-GPU utilization and
+copy-queue series, the per-tenant attribution table, the SLO compliance
+summary with a violations excerpt, and a decision-log excerpt.
+
+Rendering rules follow the repo's charting conventions:
+
+* colors are defined once as CSS custom properties with a selected dark
+  mode (own steps, not an automatic flip); text always wears text tokens,
+  never the series color;
+* a single-series sparkline carries its identity in the row title, so no
+  legend box is emitted;
+* status ("violated"/"ok") always ships as text next to the colored
+  chip — never color alone;
+* long series are downsampled (bucket means) before plotting, and any
+  truncation (runs, log excerpts) is called out explicitly in the page.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.instruments import Telemetry
+
+#: Hard cap on runs rendered per page (each run adds a full section).
+MAX_RUNS = 12
+#: Per-sparkline point budget; series beyond this are bucket-averaged.
+SPARK_POINTS = 240
+#: Decision-log / violation excerpt length.
+EXCERPT_ROWS = 20
+
+_CSS = """
+:root { color-scheme: light; }
+body {
+  margin: 0; padding: 24px;
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  background: var(--page); color: var(--ink);
+}
+.viz-root {
+  color-scheme: light;
+  --page: #f9f9f7;
+  --surface-1: #fcfcfb;
+  --ink: #0b0b0b;
+  --ink-2: #52514e;
+  --muted: #898781;
+  --grid: #e1e0d9;
+  --axis: #c3c2b7;
+  --series-1: #2a78d6;
+  --series-2: #eb6834;
+  --status-good: #0ca30c;
+  --status-critical: #d03b3b;
+  --ring: rgba(11,11,11,0.10);
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz-root {
+    color-scheme: dark;
+    --page: #0d0d0d;
+    --surface-1: #1a1a19;
+    --ink: #ffffff;
+    --ink-2: #c3c2b7;
+    --muted: #898781;
+    --grid: #2c2c2a;
+    --axis: #383835;
+    --series-1: #3987e5;
+    --series-2: #d95926;
+    --status-good: #0ca30c;
+    --status-critical: #d03b3b;
+    --ring: rgba(255,255,255,0.10);
+  }
+}
+:root[data-theme="dark"] .viz-root {
+  color-scheme: dark;
+  --page: #0d0d0d;
+  --surface-1: #1a1a19;
+  --ink: #ffffff;
+  --ink-2: #c3c2b7;
+  --muted: #898781;
+  --grid: #2c2c2a;
+  --axis: #383835;
+  --series-1: #3987e5;
+  --series-2: #d95926;
+  --status-good: #0ca30c;
+  --status-critical: #d03b3b;
+  --ring: rgba(255,255,255,0.10);
+}
+body { background: var(--page); }
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 16px; margin: 28px 0 8px; }
+h3 { font-size: 13px; margin: 16px 0 6px; color: var(--ink-2); }
+.sub { color: var(--ink-2); font-size: 13px; margin: 0 0 20px; }
+.note { color: var(--muted); font-size: 12px; margin: 6px 0; }
+.card {
+  background: var(--surface-1);
+  border: 1px solid var(--ring);
+  border-radius: 8px;
+  padding: 16px;
+  margin: 12px 0;
+}
+table { border-collapse: collapse; font-size: 13px; width: 100%; }
+th {
+  text-align: left; color: var(--ink-2); font-weight: 600;
+  border-bottom: 1px solid var(--axis); padding: 4px 10px 4px 0;
+}
+td {
+  padding: 4px 10px 4px 0;
+  border-bottom: 1px solid var(--grid);
+  font-variant-numeric: tabular-nums;
+}
+td.lbl { font-variant-numeric: normal; }
+.sparkrow { display: flex; align-items: center; gap: 12px; margin: 6px 0; }
+.sparkrow .name { width: 180px; font-size: 12px; color: var(--ink-2); }
+.sparkrow .stat { width: 120px; font-size: 12px; color: var(--muted);
+  font-variant-numeric: tabular-nums; }
+.chip {
+  display: inline-block; width: 9px; height: 9px; border-radius: 50%;
+  margin-right: 6px; vertical-align: baseline;
+}
+.chip.bad { background: var(--status-critical); }
+.chip.ok { background: var(--status-good); }
+svg.spark polyline { stroke: var(--series-1); }
+svg.spark line.base { stroke: var(--axis); }
+"""
+
+
+def _esc(v) -> str:
+    return html.escape(str(v))
+
+
+def _sparkline(
+    points: List[Tuple[float, float]],
+    width: int = 420,
+    height: int = 36,
+    y_max: Optional[float] = None,
+) -> str:
+    """One inline-SVG sparkline: a 2px polyline over a hairline baseline."""
+    if not points:
+        return '<span class="note">no samples</span>'
+    t0, t1 = points[0][0], points[-1][0]
+    tspan = (t1 - t0) or 1.0
+    vmax = y_max if y_max is not None else max(v for _, v in points)
+    vmax = vmax or 1.0
+    pad = 2
+    coords = " ".join(
+        f"{pad + (t - t0) / tspan * (width - 2 * pad):.1f},"
+        f"{height - pad - min(v, vmax) / vmax * (height - 2 * pad):.1f}"
+        for t, v in points
+    )
+    return (
+        f'<svg class="spark" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img">'
+        f'<line class="base" x1="{pad}" y1="{height - pad}" '
+        f'x2="{width - pad}" y2="{height - pad}" stroke-width="1"/>'
+        f'<polyline points="{coords}" fill="none" stroke-width="2" '
+        f'stroke-linejoin="round" stroke-linecap="round"/></svg>'
+    )
+
+
+def _series_by_run(telemetry: Telemetry, name: str) -> Dict[str, list]:
+    """All series of one name, grouped by their ``run`` label."""
+    out: Dict[str, list] = {}
+    for s in telemetry.series.values():
+        if s.name != name:
+            continue
+        labels = dict(s.labels)
+        out.setdefault(labels.get("run", ""), []).append((labels, s))
+    for group in out.values():
+        group.sort(key=lambda pair: pair[0].get("gid", ""))
+    return out
+
+
+def _spark_section(telemetry: Telemetry, run: str) -> List[str]:
+    """Sparkline rows for one run: gpu.util and gpu.copy_queue per GID."""
+    parts: List[str] = []
+    specs = [
+        ("gpu.util", "GPU utilization", 1.0, lambda v: f"{v * 100:.0f}%"),
+        ("gpu.copy_queue", "Copy-queue depth", None, lambda v: f"{v:.1f}"),
+    ]
+    for name, title, y_max, fmt in specs:
+        group = _series_by_run(telemetry, name).get(run, [])
+        if not group:
+            continue
+        parts.append(f"<h3>{_esc(title)}</h3>")
+        for labels, s in group:
+            pts = s.downsample(SPARK_POINTS)
+            mean = sum(v for _, v in pts) / len(pts) if pts else 0.0
+            peak = max((v for _, v in pts), default=0.0)
+            gid = labels.get("gid", "?")
+            stat = f"mean {fmt(mean)} · peak {fmt(peak)}"
+            drop = (
+                f' <span class="note">(oldest {s.dropped} samples beyond '
+                f"ring capacity not shown)</span>"
+                if s.dropped
+                else ""
+            )
+            parts.append(
+                '<div class="sparkrow">'
+                f'<span class="name">GPU{_esc(gid)}</span>'
+                f"{_sparkline(pts, y_max=y_max)}"
+                f'<span class="stat">{_esc(stat)}</span>{drop}</div>'
+            )
+    return parts
+
+
+def _attribution_table(telemetry: Telemetry, run_filter: Optional[str] = None) -> List[str]:
+    rows = telemetry.attribution.rows()
+    if not rows:
+        return ['<p class="note">No tenant attribution recorded.</p>']
+    parts = [
+        "<table><thead><tr>"
+        "<th>tenant</th><th>GPU</th><th>busy s</th><th>xfer s</th>"
+        "<th>moved GB</th><th>queue-wait s</th><th>gate-park s</th>"
+        "<th>requests</th><th>interference ×</th><th>worst ×</th>"
+        "</tr></thead><tbody>"
+    ]
+    for u in rows:
+        parts.append(
+            "<tr>"
+            f'<td class="lbl">{_esc(u.tenant)}</td><td>{u.gid}</td>'
+            f"<td>{u.gpu_busy_s:.3f}</td><td>{u.transfer_s:.3f}</td>"
+            f"<td>{u.bytes_moved_gb:.3f}</td><td>{u.queue_wait_s:.3f}</td>"
+            f"<td>{u.gate_park_s:.3f}</td><td>{u.requests}</td>"
+            f"<td>{u.interference_index:.2f}</td><td>{u.slowdown_max:.2f}</td>"
+            "</tr>"
+        )
+    parts.append("</tbody></table>")
+    spread = telemetry.attribution.fairness_spread()
+    if spread:
+        parts.append(
+            f'<p class="note">Busy-time fairness spread across tenants '
+            f"(max/min): {spread:.2f}&times;. Interference &times; is mean "
+            f"slowdown versus the app's solo-run baseline (1.00 = no "
+            f"interference).</p>"
+        )
+    return parts
+
+
+def _slo_section(telemetry: Telemetry) -> List[str]:
+    slo = telemetry.slo
+    if slo is None:
+        return ['<p class="note">No SLO targets configured (run with --slo).</p>']
+    parts = [
+        "<table><thead><tr>"
+        "<th>target</th><th>status</th><th>observed</th><th>violations</th>"
+        "<th>compliance</th><th>max burn rate</th><th>worst latency s</th>"
+        "</tr></thead><tbody>"
+    ]
+    for row in slo.summary():
+        bad = row["violations"] > 0
+        chip = "bad" if bad else "ok"
+        status = "violated" if bad else "met"
+        parts.append(
+            "<tr>"
+            f'<td class="lbl">{_esc(row["target"])}</td>'
+            f'<td class="lbl"><span class="chip {chip}"></span>{status}</td>'
+            f'<td>{row["observed"]}</td><td>{row["violations"]}</td>'
+            f'<td>{row["compliance"] * 100:.1f}%</td>'
+            f'<td>{row["max_burn_rate"]:.2f}</td>'
+            f'<td>{row["worst_latency_s"]:.3f}</td>'
+            "</tr>"
+        )
+    parts.append("</tbody></table>")
+    if slo.violations:
+        shown = slo.violations[:EXCERPT_ROWS]
+        parts.append(
+            f"<h3>Violations (first {len(shown)} of {len(slo.violations)})</h3>"
+            if len(slo.violations) > len(shown)
+            else "<h3>Violations</h3>"
+        )
+        parts.append(
+            "<table><thead><tr><th>t (s)</th><th>app</th><th>tenant</th>"
+            "<th>kind</th><th>observed</th><th>threshold</th>"
+            "<th>burn rate</th></tr></thead><tbody>"
+        )
+        for v in shown:
+            parts.append(
+                f'<tr><td>{v.t:.3f}</td><td class="lbl">{_esc(v.app)}</td>'
+                f'<td class="lbl">{_esc(v.tenant)}</td>'
+                f'<td class="lbl">{_esc(v.kind)}</td>'
+                f"<td>{v.observed:.4g}</td><td>{v.threshold:.4g}</td>"
+                f"<td>{v.burn_rate:.2f}</td></tr>"
+            )
+        parts.append("</tbody></table>")
+    return parts
+
+
+def _decision_section(telemetry: Telemetry, run: str) -> List[str]:
+    dec = telemetry.decisions
+    placements = [p for p in dec.placements if (p.run_label or f"run{p.run_id}") == run]
+    switches = [s for s in dec.switches if (s.run_label or f"run{s.run_id}") == run]
+    if not placements and not switches:
+        return ['<p class="note">No scheduler decisions recorded for this run.</p>']
+    parts: List[str] = []
+    mix = {}
+    for p in placements:
+        mix[p.policy] = mix.get(p.policy, 0) + 1
+    mix_txt = ", ".join(f"{k}: {v}" for k, v in sorted(mix.items()))
+    parts.append(
+        f'<p class="note">{len(placements)} placements '
+        f"({_esc(mix_txt) or 'none'}), {len(switches)} policy switches.</p>"
+    )
+    shown = placements[:EXCERPT_ROWS]
+    if shown:
+        head = (
+            f"Placements (first {len(shown)} of {len(placements)})"
+            if len(placements) > len(shown)
+            else "Placements"
+        )
+        parts.append(f"<h3>{head}</h3>")
+        parts.append(
+            "<table><thead><tr><th>t (s)</th><th>app</th><th>policy</th>"
+            "<th>&rarr; GPU</th><th>est runtime s</th><th>SFT known</th>"
+            "</tr></thead><tbody>"
+        )
+        for p in shown:
+            parts.append(
+                f'<tr><td>{p.t:.3f}</td><td class="lbl">{_esc(p.app_name)}</td>'
+                f'<td class="lbl">{_esc(p.policy)}</td><td>{p.chosen_gid}</td>'
+                f"<td>{p.est_runtime_s:.3f}</td>"
+                f'<td class="lbl">{"yes" if p.sft_known else "no"}</td></tr>'
+            )
+        parts.append("</tbody></table>")
+    for s in switches:
+        parts.append(
+            f'<p class="note">t={s.t:.3f}s: policy switch '
+            f"{_esc(s.from_policy)} &rarr; {_esc(s.to_policy)} after "
+            f"{s.profiles_seen} profiles / {s.distinct_apps} apps.</p>"
+        )
+    return parts
+
+
+def html_report(telemetry: Telemetry, title: str = "repro run report") -> str:
+    """Render the registry into one self-contained HTML document."""
+    runs = sorted(
+        {labels_run for labels_run in _series_by_run(telemetry, "gpu.util")}
+        | {p.run_label or f"run{p.run_id}" for p in telemetry.decisions.placements}
+        | {s.run_label or f"run{s.run_id}" for s in telemetry.spans if s.run_label}
+    )
+    shown_runs = runs[:MAX_RUNS]
+
+    parts: List[str] = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{_esc(title)}</title>",
+        f"<style>{_CSS}</style></head>",
+        '<body class="viz-root">',
+        f"<h1>{_esc(title)}</h1>",
+        f'<p class="sub">{telemetry.run_id} run(s) &middot; '
+        f"{len(telemetry.spans)} spans &middot; "
+        f"{len(telemetry.series)} time series &middot; "
+        f"{len(telemetry.decisions)} decision-log records</p>",
+    ]
+    if len(runs) > len(shown_runs):
+        parts.append(
+            f'<p class="note">Showing the first {len(shown_runs)} of '
+            f"{len(runs)} runs; the full data is in the CSV/metrics dumps.</p>"
+        )
+
+    for run in shown_runs:
+        parts.append(f'<div class="card"><h2>{_esc(run)}</h2>')
+        parts.extend(_spark_section(telemetry, run))
+        parts.extend(_decision_section(telemetry, run))
+        parts.append("</div>")
+    if not shown_runs:
+        parts.append(
+            '<p class="note">No sampled series or decisions recorded — '
+            "run the harness with --report (and optionally --slo) on a "
+            "stream experiment.</p>"
+        )
+
+    parts.append('<div class="card"><h2>Tenant attribution</h2>')
+    parts.extend(_attribution_table(telemetry))
+    parts.append("</div>")
+
+    parts.append('<div class="card"><h2>SLO compliance</h2>')
+    parts.extend(_slo_section(telemetry))
+    parts.append("</div>")
+
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def write_html_report(telemetry: Telemetry, path: str, title: str = "repro run report") -> None:
+    """Write the HTML report to ``path``."""
+    with open(path, "w") as fh:
+        fh.write(html_report(telemetry, title=title))
+
+
+__all__ = ["html_report", "write_html_report"]

@@ -1,0 +1,307 @@
+"""SLO monitor: per-workload targets, windowed burn rates, violations.
+
+A multi-tenant scheduler is only as good as the service levels tenants
+actually receive.  The :class:`SloMonitor` holds per-application (or
+wildcard) :class:`SloTarget`\\ s — a latency bound with a compliance
+fraction, and/or a throughput floor — and evaluates them online:
+
+* every completed request is checked against its latency bound and
+  pushed into a sliding sim-time window;
+* the **burn rate** of a target is the window's violation fraction over
+  its error budget (``1 - target_fraction``) — the standard SRE measure:
+  1.0 means violations are arriving exactly as fast as the budget
+  allows, >1.0 means the SLO will be exhausted before the window ends;
+* throughput floors are evaluated on sampler ticks once a full window of
+  history exists, edge-triggered so a sustained shortfall produces one
+  violation event, not one per tick.
+
+Structured :class:`SloViolation` events are appended to the monitor and
+mirrored into the registry's decision log, so the Chrome-trace exporter
+renders them as instant events alongside scheduler placements.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class SloTarget:
+    """One service-level objective.
+
+    ``app`` is an application short name, or ``"*"`` to match every
+    request.  ``latency_s`` bounds per-request completion time, met by at
+    least ``target_fraction`` of requests; ``throughput_rps`` is a floor
+    on completed requests per second over the evaluation window.
+    """
+
+    app: str
+    latency_s: Optional[float] = None
+    throughput_rps: Optional[float] = None
+    target_fraction: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.latency_s is None and self.throughput_rps is None:
+            raise ValueError(f"SLO for {self.app!r} needs a latency or throughput target")
+        if self.latency_s is not None and self.latency_s <= 0:
+            raise ValueError(f"SLO latency must be > 0, got {self.latency_s}")
+        if self.throughput_rps is not None and self.throughput_rps <= 0:
+            raise ValueError(f"SLO throughput must be > 0, got {self.throughput_rps}")
+        if not 0.0 < self.target_fraction < 1.0:
+            raise ValueError(
+                f"SLO target fraction must be in (0, 1), got {self.target_fraction}"
+            )
+
+    @property
+    def error_budget(self) -> float:
+        """Allowed violation fraction (e.g. 0.05 for a 95% target)."""
+        return 1.0 - self.target_fraction
+
+    def label(self) -> str:
+        parts = []
+        if self.latency_s is not None:
+            parts.append(f"lat<={self.latency_s:g}s@{self.target_fraction:g}")
+        if self.throughput_rps is not None:
+            parts.append(f"tput>={self.throughput_rps:g}/s")
+        return f"{self.app}: " + " ".join(parts)
+
+
+@dataclass(frozen=True)
+class SloViolation:
+    """One structured violation event."""
+
+    t: float
+    app: str
+    tenant: str
+    kind: str  # "latency" | "throughput"
+    observed: float
+    threshold: float
+    burn_rate: float
+    run_label: str = ""
+
+
+@dataclass
+class _TargetState:
+    """Windowed evaluation state of one target."""
+
+    target: SloTarget
+    #: Sliding window of (completion_time, violated) latency samples.
+    window: Deque[Tuple[float, bool]] = field(default_factory=deque)
+    observed: int = 0
+    latency_violations: int = 0
+    throughput_violations: int = 0
+    max_burn_rate: float = 0.0
+    worst_latency_s: float = 0.0
+    #: Edge trigger: currently below the throughput floor?
+    _tput_low: bool = False
+    #: Completion timestamps for windowed throughput (latency not needed).
+    completions: Deque[float] = field(default_factory=deque)
+
+
+class SloMonitor:
+    """Evaluates SLO targets online over a sliding sim-time window."""
+
+    def __init__(self, targets: List[SloTarget], window_s: float = 30.0) -> None:
+        if window_s <= 0:
+            raise ValueError(f"SLO window must be > 0 sim-seconds, got {window_s}")
+        if not targets:
+            raise ValueError("SLO monitor needs at least one target")
+        self.window_s = float(window_s)
+        self.targets = list(targets)
+        self._states = [_TargetState(target=t) for t in self.targets]
+        self.violations: List[SloViolation] = []
+        self._telemetry = None
+
+    def bind(self, telemetry) -> "SloMonitor":
+        """Mirror violations into ``telemetry`` (decision log + counters)."""
+        self._telemetry = telemetry
+        return self
+
+    # -- online evaluation -------------------------------------------------
+
+    def _matching(self, app: str) -> List[_TargetState]:
+        return [s for s in self._states if s.target.app in (app, "*")]
+
+    def observe(self, t: float, app: str, tenant: str, completion_s: float) -> None:
+        """Fold one completed request into every matching target."""
+        for state in self._matching(app):
+            state.observed += 1
+            state.completions.append(t)
+            self._evict(state, t)
+            tgt = state.target
+            if tgt.latency_s is not None:
+                # Exactly meeting the bound is compliant: violation is strict.
+                violated = completion_s > tgt.latency_s
+                state.window.append((t, violated))
+                state.worst_latency_s = max(state.worst_latency_s, completion_s)
+                burn = self._burn(state)
+                state.max_burn_rate = max(state.max_burn_rate, burn)
+                if violated:
+                    state.latency_violations += 1
+                    self._emit(
+                        SloViolation(
+                            t=t, app=app, tenant=tenant, kind="latency",
+                            observed=completion_s, threshold=tgt.latency_s,
+                            burn_rate=burn,
+                            run_label=self._run_label(),
+                        )
+                    )
+
+    def tick(self, t: float) -> None:
+        """Periodic (sampler-driven) evaluation of throughput floors."""
+        for state in self._states:
+            tgt = state.target
+            if tgt.throughput_rps is None:
+                continue
+            self._evict(state, t)
+            if t < self.window_s:
+                continue  # not enough history for a full window yet
+            rate = len(state.completions) / self.window_s
+            low = rate < tgt.throughput_rps
+            if low and not state._tput_low:
+                state.throughput_violations += 1
+                self._emit(
+                    SloViolation(
+                        t=t, app=tgt.app, tenant="*", kind="throughput",
+                        observed=rate, threshold=tgt.throughput_rps,
+                        burn_rate=self._burn(state),
+                        run_label=self._run_label(),
+                    )
+                )
+            state._tput_low = low
+
+    # -- burn rate ---------------------------------------------------------
+
+    def _burn(self, state: _TargetState) -> float:
+        """Window violation fraction over the target's error budget.
+
+        An empty window burns nothing (0.0).
+        """
+        if not state.window:
+            return 0.0
+        bad = sum(1 for _, v in state.window if v)
+        return (bad / len(state.window)) / state.target.error_budget
+
+    def burn_rate(self, app: str) -> float:
+        """Current burn rate of the first target matching ``app``."""
+        for state in self._matching(app):
+            return self._burn(state)
+        return 0.0
+
+    def _evict(self, state: _TargetState, now: float) -> None:
+        horizon = now - self.window_s
+        while state.window and state.window[0][0] < horizon:
+            state.window.popleft()
+        while state.completions and state.completions[0] < horizon:
+            state.completions.popleft()
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _run_label(self) -> str:
+        return self._telemetry.run_label if self._telemetry is not None else ""
+
+    def _emit(self, v: SloViolation) -> None:
+        self.violations.append(v)
+        tel = self._telemetry
+        if tel is not None and tel.enabled:
+            tel.counter("slo.violations", app=v.app, kind=v.kind).inc()
+            tel.decisions.record_event(
+                t=v.t,
+                kind="slo",
+                name=f"SLO {v.kind} violation: {v.app}",
+                args={
+                    "tenant": v.tenant,
+                    "observed": round(v.observed, 6),
+                    "threshold": v.threshold,
+                    "burn_rate": round(v.burn_rate, 4),
+                },
+            )
+
+    # -- reporting ---------------------------------------------------------
+
+    def summary(self) -> List[Dict[str, object]]:
+        """Per-target digest for reports and the harness summary table."""
+        out: List[Dict[str, object]] = []
+        for state in self._states:
+            tgt = state.target
+            violations = state.latency_violations + state.throughput_violations
+            compliance = (
+                1.0 - state.latency_violations / state.observed
+                if state.observed
+                else 1.0
+            )
+            out.append(
+                {
+                    "target": tgt.label(),
+                    "app": tgt.app,
+                    "observed": state.observed,
+                    "violations": violations,
+                    "latency_violations": state.latency_violations,
+                    "throughput_violations": state.throughput_violations,
+                    "compliance": compliance,
+                    "max_burn_rate": state.max_burn_rate,
+                    "worst_latency_s": state.worst_latency_s,
+                }
+            )
+        return out
+
+    @property
+    def total_violations(self) -> int:
+        return len(self.violations)
+
+
+def parse_slo_spec(text: str, default_window_s: float = 30.0) -> SloMonitor:
+    """Build a monitor from the harness ``--slo`` flag.
+
+    Grammar (comma-separated items)::
+
+        APP:LATENCY_S[:FRACTION]    latency bound, e.g. "MC:2.5" or "*:1.0:0.9"
+        APP@THROUGHPUT_RPS          throughput floor, e.g. "BS@0.5"
+        window=SECONDS              evaluation window (default 30)
+
+    Raises ``ValueError`` with a human-readable message on malformed
+    input — the harness converts that into an argparse error.
+    """
+    targets: List[SloTarget] = []
+    window_s = default_window_s
+    for raw in text.split(","):
+        item = raw.strip()
+        if not item:
+            continue
+        if item.startswith("window="):
+            try:
+                window_s = float(item.split("=", 1)[1])
+            except ValueError:
+                raise ValueError(f"bad SLO window {item!r}: expected window=SECONDS") from None
+            if window_s <= 0:
+                raise ValueError(f"SLO window must be > 0 sim-seconds, got {window_s:g}")
+            continue
+        if "@" in item:
+            app, _, rate = item.partition("@")
+            try:
+                targets.append(SloTarget(app=app or "*", throughput_rps=float(rate)))
+            except ValueError as e:
+                raise ValueError(f"bad SLO item {item!r}: {e}") from None
+            continue
+        parts = item.split(":")
+        if len(parts) not in (2, 3):
+            raise ValueError(
+                f"bad SLO item {item!r}: expected APP:LATENCY_S[:FRACTION], "
+                f"APP@THROUGHPUT_RPS or window=SECONDS"
+            )
+        try:
+            latency = float(parts[1])
+            fraction = float(parts[2]) if len(parts) == 3 else 0.95
+            targets.append(
+                SloTarget(app=parts[0] or "*", latency_s=latency, target_fraction=fraction)
+            )
+        except ValueError as e:
+            raise ValueError(f"bad SLO item {item!r}: {e}") from None
+    if not targets:
+        raise ValueError(f"SLO spec {text!r} defines no targets")
+    return SloMonitor(targets, window_s=window_s)
+
+
+__all__ = ["SloMonitor", "SloTarget", "SloViolation", "parse_slo_spec"]

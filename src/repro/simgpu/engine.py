@@ -125,6 +125,13 @@ class SharedComputeEngine:
         window = now - since
         return busy / window if window > 0 else 0.0
 
+    def busy_seconds(self) -> float:
+        """Cumulative busy seconds, including the open busy interval."""
+        busy = self.busy_time
+        if self._busy_since is not None:
+            busy += self.env.now - self._busy_since
+        return busy
+
     # -- interference model ---------------------------------------------------
 
     def _recompute_rates(self) -> None:
@@ -224,7 +231,10 @@ class CopyEngine:
         self.track = f"gpu:{spec.name}/{label.upper()}"
         self._lane = Resource(env, capacity=1)
         self.busy_time = 0.0
+        self._busy_since: Optional[float] = None
         self.completed = 0
+        #: Cumulative transfer volume through this engine, in bytes.
+        self.bytes_moved = 0
 
     @property
     def queued(self) -> int:
@@ -235,6 +245,13 @@ class CopyEngine:
     def busy(self) -> bool:
         """True while a transfer occupies the engine."""
         return self._lane.count > 0
+
+    def busy_seconds(self) -> float:
+        """Cumulative busy seconds, including the in-flight transfer."""
+        busy = self.busy_time
+        if self._busy_since is not None:
+            busy += self.env.now - self._busy_since
+        return busy
 
     def execute(self, op: CopyOp) -> Event:
         """Run ``op`` through the engine; returns its completion event."""
@@ -247,6 +264,7 @@ class CopyEngine:
         with self._lane.request() as slot:
             yield slot
             start = env.now
+            self._busy_since = start
             duration = op.solo_time(self.spec) + self.spec.copy_latency_s
             if self.tracer is not None:
                 self.tracer.begin(("copy", op.op_id), start, tag=op.tag or self.label)
@@ -265,7 +283,9 @@ class CopyEngine:
             if span is not None:
                 span.finish(env.now)
             self.busy_time += env.now - start
+            self._busy_since = None
             self.completed += 1
+            self.bytes_moved += op.nbytes
         return {
             "op": op,
             "started_at": start,

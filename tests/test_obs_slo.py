@@ -1,0 +1,181 @@
+"""SLO targets, burn-rate windows and the --slo spec parser (ISSUE 2)."""
+
+import pytest
+
+from repro.obs import SloMonitor, SloTarget, Telemetry, parse_slo_spec
+
+
+def latency_monitor(latency_s=1.0, fraction=0.9, window_s=10.0):
+    return SloMonitor(
+        [SloTarget(app="BS", latency_s=latency_s, target_fraction=fraction)],
+        window_s=window_s,
+    )
+
+
+class TestSloTarget:
+    def test_requires_some_objective(self):
+        with pytest.raises(ValueError, match="latency or throughput"):
+            SloTarget(app="BS")
+
+    def test_rejects_non_positive_latency(self):
+        with pytest.raises(ValueError, match="latency"):
+            SloTarget(app="BS", latency_s=0.0)
+
+    def test_rejects_non_positive_throughput(self):
+        with pytest.raises(ValueError, match="throughput"):
+            SloTarget(app="BS", throughput_rps=-1.0)
+
+    def test_rejects_fraction_outside_open_interval(self):
+        for bad in (0.0, 1.0, 1.5):
+            with pytest.raises(ValueError, match="fraction"):
+                SloTarget(app="BS", latency_s=1.0, target_fraction=bad)
+
+    def test_error_budget(self):
+        tgt = SloTarget(app="BS", latency_s=1.0, target_fraction=0.95)
+        assert tgt.error_budget == pytest.approx(0.05)
+
+    def test_label_mentions_both_objectives(self):
+        tgt = SloTarget(app="BS", latency_s=2.5, throughput_rps=0.5)
+        assert "lat<=2.5s" in tgt.label()
+        assert "tput>=0.5/s" in tgt.label()
+
+
+class TestSloMonitorValidation:
+    def test_rejects_non_positive_window(self):
+        with pytest.raises(ValueError, match="window"):
+            SloMonitor([SloTarget(app="*", latency_s=1.0)], window_s=0.0)
+
+    def test_rejects_empty_target_list(self):
+        with pytest.raises(ValueError, match="target"):
+            SloMonitor([], window_s=10.0)
+
+
+class TestBurnRateEdges:
+    def test_empty_window_burns_nothing(self):
+        mon = latency_monitor()
+        assert mon.burn_rate("BS") == 0.0
+        assert mon.burn_rate("no-such-app") == 0.0
+
+    def test_exact_boundary_completion_is_compliant(self):
+        mon = latency_monitor(latency_s=1.0)
+        mon.observe(t=0.0, app="BS", tenant="t0", completion_s=1.0)
+        assert mon.total_violations == 0
+        assert mon.burn_rate("BS") == 0.0
+
+    def test_violation_burn_is_fraction_over_budget(self):
+        mon = latency_monitor(latency_s=1.0, fraction=0.9)
+        mon.observe(t=0.0, app="BS", tenant="t0", completion_s=0.5)
+        mon.observe(t=1.0, app="BS", tenant="t0", completion_s=2.0)
+        # 1 of 2 samples violating over a 0.1 budget -> burn 5.0.
+        assert mon.burn_rate("BS") == pytest.approx(5.0)
+        assert mon.total_violations == 1
+        v = mon.violations[0]
+        assert (v.kind, v.app, v.observed, v.threshold) == ("latency", "BS", 2.0, 1.0)
+
+    def test_window_eviction_forgets_old_violations(self):
+        mon = latency_monitor(latency_s=1.0, window_s=10.0)
+        mon.observe(t=0.0, app="BS", tenant="t0", completion_s=5.0)  # violates
+        assert mon.burn_rate("BS") > 0
+        mon.observe(t=20.0, app="BS", tenant="t0", completion_s=0.5)
+        # The violation at t=0 fell out of the [10, 20] window.
+        assert mon.burn_rate("BS") == 0.0
+        # ...but lifetime counters keep it.
+        assert mon.summary()[0]["latency_violations"] == 1
+
+    def test_wildcard_target_matches_every_app(self):
+        mon = SloMonitor([SloTarget(app="*", latency_s=1.0)], window_s=10.0)
+        mon.observe(t=0.0, app="BS", tenant="t0", completion_s=2.0)
+        mon.observe(t=1.0, app="SN", tenant="t1", completion_s=3.0)
+        assert mon.total_violations == 2
+        assert mon.summary()[0]["observed"] == 2
+
+
+class TestThroughputFloor:
+    def test_no_check_before_a_full_window(self):
+        mon = SloMonitor([SloTarget(app="BS", throughput_rps=1.0)], window_s=10.0)
+        mon.tick(t=5.0)  # only half a window of history exists
+        assert mon.total_violations == 0
+
+    def test_edge_triggered_not_per_tick(self):
+        mon = SloMonitor([SloTarget(app="BS", throughput_rps=1.0)], window_s=10.0)
+        # 2 completions in a 10 s window = 0.2 rps, below the 1.0 floor.
+        mon.observe(t=11.0, app="BS", tenant="t0", completion_s=0.1)
+        mon.observe(t=12.0, app="BS", tenant="t0", completion_s=0.1)
+        for t in (13.0, 14.0, 15.0):
+            mon.tick(t)
+        assert mon.total_violations == 1  # sustained shortfall, one event
+        assert mon.violations[0].kind == "throughput"
+        assert mon.violations[0].observed == pytest.approx(0.2)
+
+    def test_recovery_rearms_the_trigger(self):
+        mon = SloMonitor([SloTarget(app="BS", throughput_rps=0.3)], window_s=10.0)
+        mon.tick(t=10.0)  # empty window: first violation
+        assert mon.total_violations == 1
+        for t in range(11, 16):  # recover: 5 completions in window
+            mon.observe(t=float(t), app="BS", tenant="t0", completion_s=0.1)
+        mon.tick(t=15.0)
+        assert mon.total_violations == 1
+        # Everything evicted by t=26 -> below floor again: second event.
+        mon.tick(t=26.0)
+        assert mon.total_violations == 2
+
+
+class TestTelemetryMirroring:
+    def test_violations_reach_counter_and_decision_log(self):
+        tel = Telemetry()
+        mon = latency_monitor(latency_s=1.0).bind(tel)
+        mon.observe(t=0.0, app="BS", tenant="t0", completion_s=3.0)
+        assert tel.counter("slo.violations", app="BS", kind="latency").value == 1
+        events = tel.decisions.events_of("slo")
+        assert len(events) == 1
+        assert "BS" in events[0].name
+        assert events[0].args["observed"] == pytest.approx(3.0)
+
+    def test_unbound_monitor_still_records_locally(self):
+        mon = latency_monitor(latency_s=1.0)
+        mon.observe(t=0.0, app="BS", tenant="t0", completion_s=3.0)
+        assert mon.total_violations == 1
+        assert mon.violations[0].run_label == ""
+
+
+class TestParseSloSpec:
+    def test_latency_item_with_default_fraction(self):
+        mon = parse_slo_spec("MC:2.5")
+        assert len(mon.targets) == 1
+        tgt = mon.targets[0]
+        assert (tgt.app, tgt.latency_s, tgt.target_fraction) == ("MC", 2.5, 0.95)
+
+    def test_latency_item_with_fraction_and_wildcard(self):
+        mon = parse_slo_spec("*:1.0:0.9")
+        tgt = mon.targets[0]
+        assert (tgt.app, tgt.latency_s, tgt.target_fraction) == ("*", 1.0, 0.9)
+
+    def test_throughput_item(self):
+        mon = parse_slo_spec("BS@0.5")
+        tgt = mon.targets[0]
+        assert (tgt.app, tgt.throughput_rps) == ("BS", 0.5)
+
+    def test_window_override_and_multiple_items(self):
+        mon = parse_slo_spec("MC:2.5, BS@0.5, window=20")
+        assert mon.window_s == 20.0
+        assert len(mon.targets) == 2
+
+    def test_rejects_garbage_item(self):
+        with pytest.raises(ValueError, match="bad SLO item"):
+            parse_slo_spec("MC")
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError, match="window"):
+            parse_slo_spec("MC:1.0,window=abc")
+        with pytest.raises(ValueError, match="window"):
+            parse_slo_spec("MC:1.0,window=0")
+
+    def test_rejects_empty_spec(self):
+        with pytest.raises(ValueError, match="no targets"):
+            parse_slo_spec("window=10")
+
+    def test_rejects_invalid_target_values(self):
+        with pytest.raises(ValueError, match="bad SLO item"):
+            parse_slo_spec("MC:-1")
+        with pytest.raises(ValueError, match="bad SLO item"):
+            parse_slo_spec("MC@0")
