@@ -1,0 +1,120 @@
+"""Chaos sweep: goodput vs fault rate across balancing policies.
+
+Offers the chaos-scenario tenants (DC, HI, MC) to the 4-GPU supernode
+under a seeded random gpu_fail process and sweeps the failure rate
+(MTBF) across balancing policies — the static GRR/GMin placements
+against the feedback MBF policy.  Each cell reports goodput (completed
+requests per sim-second) and requests lost, answering the reliability
+question the paper never poses: how gracefully does each policy degrade
+as devices start dying?
+
+Writes ``BENCH_chaos_sweep.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/chaos_sweep.py [--requests N]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+OUT_PATH = os.path.join(os.path.dirname(_SRC), "BENCH_chaos_sweep.json")
+
+POLICIES = ["GRR-Strings", "GMin-Strings", "MBF-Strings"]
+#: MTBF as a fraction of the arrival horizon (scale-independent);
+#: None = no-faults baseline, 0.2 = ~5 expected failures per run.
+MTBF_FRACS = [None, 1.0, 0.4, 0.2]
+#: Repair time as a fraction of the arrival horizon.
+MTTR_FRAC = 0.15
+
+
+def sweep(requests_per_stream: int):
+    from repro.faults import FaultPlan, RetryPolicy
+    from repro.harness.chaos import chaos_streams
+    from repro.harness.runner import (
+        SCALE_QUICK,
+        run_stream_experiment,
+        system_factories,
+    )
+    from repro.cluster import build_paper_supernode
+
+    scale = SCALE_QUICK.scaled(requests_per_stream=requests_per_stream)
+    factories = system_factories()
+    rows = []
+    for policy in POLICIES:
+        for frac in MTBF_FRACS:
+            streams = chaos_streams(scale)
+            offered = sum(len(s) for s in streams)
+            horizon = max(s.horizon_s for s in streams)
+            plan = None
+            mtbf = None
+            if frac is not None:
+                mtbf = frac * horizon
+                plan = FaultPlan(retry=RetryPolicy(max_retries=8), warmup_s=2.0)
+                plan.random_gpu_failures(
+                    mtbf_s=mtbf,
+                    mttr_s=MTTR_FRAC * horizon,
+                    until_s=horizon,
+                    seed=scale.seed,
+                )
+            res = run_stream_experiment(
+                factories[policy],
+                streams,
+                build_paper_supernode,
+                label=f"chaos-sweep:{policy}:mtbf={mtbf}",
+                fault_plan=plan,
+            )
+            summary = res.faults_summary or {}
+            completed = len(res.results)
+            mean_completion = (
+                sum(r.completion_s for r in res.results) / completed
+                if completed
+                else 0.0
+            )
+            rows.append(
+                {
+                    "policy": policy,
+                    "mtbf_frac": frac,
+                    "mtbf_s": mtbf,
+                    "offered": offered,
+                    "completed": completed,
+                    "lost": summary.get("requests_lost", 0),
+                    "redispatched": summary.get("requests_redispatched", 0),
+                    "faults": sum(summary.get("faults_injected", {}).values()),
+                    "goodput_rps": completed / res.sim_time_s if res.sim_time_s else 0.0,
+                    "mean_completion_s": mean_completion,
+                }
+            )
+            print(
+                f"{policy:14s} mtbf/h={str(frac):>5s}  faults={rows[-1]['faults']:2d}  "
+                f"completed={completed}/{offered}  lost={rows[-1]['lost']}  "
+                f"goodput={rows[-1]['goodput_rps']:.4f} req/s  "
+                f"mean={mean_completion:.1f}s"
+            )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=6,
+        help="requests per tenant stream (default 6, CI-sized)",
+    )
+    args = parser.parse_args(argv)
+    rows = sweep(args.requests)
+    with open(OUT_PATH, "w") as fh:
+        json.dump({"rows": rows}, fh, indent=2)
+    print(f"[written to {OUT_PATH}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,10 +19,45 @@ GMin's tie-break still matters — but far from prohibitive).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import Optional, Set, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.node import Node
+
+
+#: Baseline link parameters (see the calibration note above).
+_DEFAULT_LATENCY_S = 120e-6
+_DEFAULT_BANDWIDTH_GBPS = 10.0
+
+# Process-wide defaults new Network instances fall back to; the harness
+# CLI (--link-latency-us / --link-gbps) overrides them for a run.
+_default_latency_s = _DEFAULT_LATENCY_S
+_default_bandwidth_gbps = _DEFAULT_BANDWIDTH_GBPS
+
+
+def configure_defaults(
+    latency_s: Optional[float] = None, bandwidth_gbps: Optional[float] = None
+) -> None:
+    """Override the link parameters used by testbed builders.
+
+    Validates eagerly so a bad CLI flag fails before any simulation runs.
+    """
+    global _default_latency_s, _default_bandwidth_gbps
+    if latency_s is not None:
+        if latency_s < 0:
+            raise ValueError("latency must be non-negative")
+        _default_latency_s = latency_s
+    if bandwidth_gbps is not None:
+        if bandwidth_gbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        _default_bandwidth_gbps = bandwidth_gbps
+
+
+def reset_defaults() -> None:
+    """Restore the baseline link parameters."""
+    global _default_latency_s, _default_bandwidth_gbps
+    _default_latency_s = _DEFAULT_LATENCY_S
+    _default_bandwidth_gbps = _DEFAULT_BANDWIDTH_GBPS
 
 
 class Network:
@@ -37,18 +72,67 @@ class Network:
         Link bandwidth in *gigabits* per second (GigE = 1.0).
     """
 
-    def __init__(self, latency_s: float = 120e-6, bandwidth_gbps: float = 10.0) -> None:
+    def __init__(
+        self,
+        latency_s: Optional[float] = None,
+        bandwidth_gbps: Optional[float] = None,
+    ) -> None:
+        if latency_s is None:
+            latency_s = _default_latency_s
+        if bandwidth_gbps is None:
+            bandwidth_gbps = _default_bandwidth_gbps
         if latency_s < 0:
             raise ValueError("latency must be non-negative")
         if bandwidth_gbps <= 0:
             raise ValueError("bandwidth must be positive")
         self.latency_s = latency_s
         self.bandwidth_gbps = bandwidth_gbps
+        # Fault-injection state (repro.faults): degradation multipliers
+        # applied to the *remote* paths, and hosts currently partitioned
+        # off the interconnect.
+        self._latency_mult = 1.0
+        self._bandwidth_mult = 1.0
+        self._unreachable: Set[str] = set()
+
+    # -- fault injection (repro.faults) ----------------------------------
+
+    def degrade(self, latency_mult: float = 1.0, bandwidth_mult: float = 1.0) -> None:
+        """Scale remote latency up / bandwidth down by the given factors."""
+        if latency_mult <= 0 or bandwidth_mult <= 0:
+            raise ValueError("degradation multipliers must be positive")
+        self._latency_mult = latency_mult
+        self._bandwidth_mult = bandwidth_mult
+
+    def restore(self) -> None:
+        """Clear any link degradation."""
+        self._latency_mult = 1.0
+        self._bandwidth_mult = 1.0
+
+    def partition(self, hostname: str) -> None:
+        """Mark ``hostname`` unreachable over the interconnect."""
+        self._unreachable.add(hostname)
+
+    def heal(self, hostname: str) -> None:
+        """Reconnect a partitioned host."""
+        self._unreachable.discard(hostname)
+
+    def reachable(self, hostname: str) -> bool:
+        """False while ``hostname`` is partitioned off."""
+        return hostname not in self._unreachable
+
+    @property
+    def effective_latency_s(self) -> float:
+        """Remote link latency including any injected degradation."""
+        return self.latency_s * self._latency_mult
 
     @property
     def bytes_per_second(self) -> float:
-        """Payload bandwidth in bytes/s."""
-        return self.bandwidth_gbps * 1e9 / 8.0
+        """Payload bandwidth in bytes/s, including injected degradation.
+
+        The multiplier is applied *last*: ``x * 1.0 == x`` exactly in IEEE
+        arithmetic, so the null fault path is byte-identical.
+        """
+        return self.bandwidth_gbps * 1e9 / 8.0 * self._bandwidth_mult
 
     def transfer_delay(self, nbytes: int, local: bool) -> float:
         """Time to move ``nbytes`` of bulk payload between two endpoints.
@@ -64,13 +148,13 @@ class Network:
             # One host memcpy through the shared-memory RPC channel at
             # DDR3 stream rate.
             return nbytes / 12e9
-        return self.latency_s + nbytes / self.bytes_per_second
+        return self.effective_latency_s + nbytes / self.bytes_per_second
 
     def message_delay(self, local: bool, payload_bytes: int = 128) -> float:
         """One-way delay for a small control message (an RPC header)."""
         if local:
             return 2e-6  # shared-memory queue hop
-        return self.latency_s + payload_bytes / self.bytes_per_second
+        return self.effective_latency_s + payload_bytes / self.bytes_per_second
 
 
-__all__ = ["Network"]
+__all__ = ["Network", "configure_defaults", "reset_defaults"]

@@ -10,12 +10,27 @@ most importantly the *device load* that GMin/GWtMin balance on.
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.cluster.node import Node
 from repro.simgpu import GpuDevice
 from repro.simgpu.specs import DeviceSpec
+
+
+class DeviceHealth(enum.Enum):
+    """Fault-model state of one DST row (DESIGN.md §Fault Model).
+
+    HEALTHY → UNHEALTHY on an injected device loss / backend crash;
+    UNHEALTHY → DRAINING when the device comes back (warm-up window with a
+    load penalty so load-balancing policies don't stampede it);
+    DRAINING → HEALTHY once the warm-up expires.
+    """
+
+    HEALTHY = "healthy"
+    UNHEALTHY = "unhealthy"
+    DRAINING = "draining"
 
 
 @dataclass(frozen=True)
@@ -76,6 +91,22 @@ class DeviceStatus:
     #: Bound apps' profile summaries for contrast policies (DTF/MBF):
     #: list of (transfer_fraction, mem_bandwidth_gbps) tuples.
     bound_profiles: List[Tuple[float, float]] = field(default_factory=list)
+    #: Fault-model state (updated by the recovery manager, never by the
+    #: Target GPU Selector itself).
+    health: DeviceHealth = DeviceHealth.HEALTHY
+    #: Warm-up load handicap of a DRAINING device: added to
+    #: :attr:`effective_load` so recovered GPUs re-enter gradually.
+    load_penalty: float = 0.0
+
+    @property
+    def effective_load(self) -> float:
+        """``device_load`` plus the recovery warm-up penalty.
+
+        Equals ``device_load`` exactly while no fault recovery is active
+        (``x + 0.0 == float(x)`` for the int loads involved), so policies
+        keyed on it select identically on the null fault path.
+        """
+        return self.device_load + self.load_penalty
 
 
 class DeviceStatusTable:
@@ -96,6 +127,20 @@ class DeviceStatusTable:
     def rows(self) -> List[DeviceStatus]:
         """All rows, by ascending GID."""
         return [self._rows[g] for g in sorted(self._rows)]
+
+    def eligible_rows(self) -> List[DeviceStatus]:
+        """Rows the Target GPU Selector may place on: everything not
+        UNHEALTHY (DRAINING devices are placeable, at a penalty).
+
+        Identical to :meth:`rows` while every device is healthy.  Policies
+        fall back to the full table when this is empty — binding to a dead
+        GPU (and failing fast) beats deadlocking the arrival stream.
+        """
+        return [r for r in self.rows() if r.health is not DeviceHealth.UNHEALTHY]
+
+    def eligible_gids(self) -> List[int]:
+        """GIDs of :meth:`eligible_rows`, ascending."""
+        return [r.gid for r in self.eligible_rows()]
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -197,6 +242,7 @@ class GPool:
 
 
 __all__ = [
+    "DeviceHealth",
     "DeviceStatus",
     "DeviceStatusTable",
     "GMap",

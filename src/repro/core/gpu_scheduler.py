@@ -111,6 +111,23 @@ class GpuScheduler:
             )
         return profile
 
+    def evict(self, entry: RcbEntry) -> None:
+        """Forcibly unregister a faulted application's entry.
+
+        Unlike :meth:`unregister` no profile is emitted: the run was cut
+        short by an injected fault, so its partial characteristics would
+        poison the SFT.  The RCB unregistration wakes anything parked at
+        the dispatch gate, so recovery can never deadlock on a sleeping
+        tenant.  Idempotent.
+        """
+        if entry.unregistered:
+            return
+        self.rcb.unregister(entry)
+        tel = self.env.telemetry
+        if tel.enabled:
+            tel.counter("scheduler.evictions", gid=self.gid).inc()
+            tel.gauge("scheduler.rcb_live", gid=self.gid).set(len(self.rcb))
+
     # -- gate passthrough (used by sessions) --------------------------------------
 
     def permission(self, entry: RcbEntry, phase: GpuPhase) -> Event:

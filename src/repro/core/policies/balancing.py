@@ -11,6 +11,14 @@ Device Status Table:
   capability weight.  The paper stresses that these static weights often
   fail to mirror real per-application performance (Section V.D), which is
   the motivation for the feedback policies.
+
+Fault awareness: every policy places over ``dst.eligible_rows()`` —
+UNHEALTHY devices (injected faults, :mod:`repro.faults`) are excluded and
+DRAINING devices carry a warm-up ``load_penalty`` folded into
+``effective_load``.  With every device healthy this is exactly the full
+table with the original loads, so the null fault path selects identically.
+Should *every* device be unhealthy, policies fall back to the full table
+rather than deadlock the arrival stream.
 """
 
 from __future__ import annotations
@@ -56,6 +64,12 @@ class BalancingPolicy(abc.ABC):
         return f"<{type(self).__name__}>"
 
 
+def placeable_rows(dst: DeviceStatusTable):
+    """The rows a policy should place over: eligible ones, or (when the
+    whole pool is unhealthy) every row as a fail-fast last resort."""
+    return dst.eligible_rows() or dst.rows()
+
+
 class GRR(BalancingPolicy):
     """Global round robin: cycle through the gPool in GID order."""
 
@@ -65,7 +79,7 @@ class GRR(BalancingPolicy):
         self._next = 0
 
     def select(self, pool, dst, app_name, frontend_host) -> int:
-        gids = pool.gids()
+        gids = [row.gid for row in placeable_rows(dst)]
         gid = gids[self._next % len(gids)]
         self._next += 1
         return gid
@@ -84,9 +98,9 @@ class GMin(BalancingPolicy):
     def select(self, pool, dst, app_name, frontend_host) -> int:
         def key(row):
             local = pool.is_local(row.gid, frontend_host)
-            return (row.device_load, 0 if local else 1, row.gid)
+            return (row.effective_load, 0 if local else 1, row.gid)
 
-        return min(dst.rows(), key=key).gid
+        return min(placeable_rows(dst), key=key).gid
 
 
 class GWtMin(BalancingPolicy):
@@ -101,12 +115,12 @@ class GWtMin(BalancingPolicy):
     def select(self, pool, dst, app_name, frontend_host) -> int:
         def key(row):
             local = pool.is_local(row.gid, frontend_host)
-            return (row.device_load / row.weight, 0 if local else 1, row.gid)
+            return (row.effective_load / row.weight, 0 if local else 1, row.gid)
 
-        return min(dst.rows(), key=key).gid
+        return min(placeable_rows(dst), key=key).gid
 
     def scores(self, pool, dst, app_name, frontend_host):
-        return {row.gid: row.device_load / row.weight for row in dst.rows()}
+        return {row.gid: row.effective_load / row.weight for row in dst.rows()}
 
 
-__all__ = ["BalancingPolicy", "GMin", "GRR", "GWtMin"]
+__all__ = ["BalancingPolicy", "GMin", "GRR", "GWtMin", "placeable_rows"]

@@ -25,7 +25,7 @@ from typing import List, Optional, Tuple
 
 from repro.core.feedback import SchedulerFeedbackTable
 from repro.core.gpool import DeviceStatus, DeviceStatusTable, GPool
-from repro.core.policies.balancing import BalancingPolicy, GMin
+from repro.core.policies.balancing import BalancingPolicy, GMin, placeable_rows
 
 
 class FeedbackPolicy(BalancingPolicy):
@@ -93,7 +93,7 @@ class RTF(FeedbackPolicy):
             local = pool.is_local(row.gid, frontend_host)
             return (horizon, 0 if local else 1, row.gid)
 
-        return min(dst.rows(), key=key).gid
+        return min(placeable_rows(dst), key=key).gid
 
     def _scores(self, pool, dst, app_name, frontend_host):
         return {
@@ -112,12 +112,12 @@ class GUF(FeedbackPolicy):
             local = pool.is_local(row.gid, frontend_host)
             return (
                 row.utilization_load,
-                row.device_load / row.weight,
+                row.effective_load / row.weight,
                 0 if local else 1,
                 row.gid,
             )
 
-        return min(dst.rows(), key=key).gid
+        return min(placeable_rows(dst), key=key).gid
 
     def _scores(self, pool, dst, app_name, frontend_host):
         return {row.gid: row.utilization_load for row in dst.rows()}
@@ -152,13 +152,13 @@ class DTF(FeedbackPolicy):
         def key(row: DeviceStatus):
             local = pool.is_local(row.gid, frontend_host)
             return (
-                row.device_load,
+                row.effective_load,
                 _transfer_similarity(app_tf, row.bound_profiles),
                 0 if local else 1,
                 row.gid,
             )
 
-        return min(dst.rows(), key=key).gid
+        return min(placeable_rows(dst), key=key).gid
 
     def _scores(self, pool, dst, app_name, frontend_host):
         row_sft = self.sft.lookup(app_name)
@@ -190,14 +190,14 @@ class MBF(FeedbackPolicy):
                 app_bw, row.bound_profiles, row.spec.mem_bandwidth_gbps
             )
             return (
-                row.device_load,
+                row.effective_load,
                 over,
                 _transfer_similarity(app_tf, row.bound_profiles),
                 0 if local else 1,
                 row.gid,
             )
 
-        return min(dst.rows(), key=key).gid
+        return min(placeable_rows(dst), key=key).gid
 
     def _scores(self, pool, dst, app_name, frontend_host):
         row_sft = self.sft.lookup(app_name)

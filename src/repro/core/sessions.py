@@ -194,6 +194,12 @@ class ManagedSession(GpuSession):
         #: anchor for synchronize under async translation).
         self._last_gpu_op: Optional[Event] = None
         self._finished = False
+        #: Recovery manager tracking this session (installed by the owning
+        #: system when fault injection is active; None on the null path).
+        self.faults = None
+        #: The injected-fault exception this session was killed with.
+        self._aborted: Optional[BaseException] = None
+        self._unbound = False
 
     # -- plumbing provided by the owning system -----------------------------
 
@@ -236,7 +242,20 @@ class ManagedSession(GpuSession):
                     parent=self.root_span,
                     args={"app": self.app_name, "phase": item.phase.value},
                 )
-            completion = item.make()
+            try:
+                completion = item.make()
+            except Exception as exc:  # noqa: BLE001 - dead worker / backend
+                # The op hit a torn-down worker (injected fault) before it
+                # ever reached the device.  Marshal the error to the
+                # caller; pre-defuse in case the op was fire-and-forget.
+                if op_span is not None:
+                    op_span.finish(env.now)
+                if item.gated:
+                    self._complete_accounting(None)
+                item.done.defused = True
+                if not item.done.triggered:
+                    item.done.fail(exc)
+                continue
             if completion is None:
                 if op_span is not None:
                     op_span.finish(env.now)
@@ -250,7 +269,11 @@ class ManagedSession(GpuSession):
                         op_span.finish(env.now)
                     if item.gated:
                         self._complete_accounting(None)
-                    item.done.fail(exc)
+                    # Pre-defuse: an aborted session's driver may already
+                    # be gone, leaving this failure without a waiter.
+                    item.done.defused = True
+                    if not item.done.triggered:
+                        item.done.fail(exc)
                     continue
                 if op_span is not None:
                     op_span.finish(env.now)
@@ -309,6 +332,7 @@ class ManagedSession(GpuSession):
                 evt.defused = True
                 if account:
                     self._complete_accounting(None)
+                done.defused = True
                 if not done.triggered:
                     done.fail(evt.value)
 
@@ -340,6 +364,11 @@ class ManagedSession(GpuSession):
                 )
 
     def _post(self, phase: GpuPhase, make, blocking: bool, gated: bool = True) -> Event:
+        if self._aborted is not None:
+            # The session was killed by an injected fault: surface the
+            # cause at the next intercepted call, like a real frontend
+            # whose backend connection dropped.
+            raise self._aborted
         done = self.env.event()
         self._queue.put(
             _IssueItem(phase, make, blocking, done, gated, posted_at=self.env.now)
@@ -357,17 +386,25 @@ class ManagedSession(GpuSession):
         env = self.env
         # cudaSetDevice intercepted -> forwarded to the affinity mapper.
         yield env.timeout(self.rpc.request_delay(self.network, True))
+        self._check_aborted()
         self.binding = self.mapper.bind(self.app_name, self.frontend_node.hostname)
         gid = self.binding.gid
         self._local = self.mapper.pool.is_local(gid, self.frontend_node.hostname)
+        if self.faults is not None:
+            self.faults.track(self)
         # Forward the binding to the backend on the target node.
         yield env.timeout(self._req())
+        # Checked *before* creating the worker: binding to a crashed
+        # backend must not silently respawn its device process.
+        self._check_aborted()
         self.worker = self._make_worker(gid)
         reg = yield self.scheduler.register(
             self.app_name, self.tenant_id, self.tenant_weight
         )
         self.entry = reg
+        self._check_aborted()
         yield env.timeout(self._rsp())
+        self._check_aborted()
         return gid
 
     def finish(self) -> Event:
@@ -386,8 +423,11 @@ class ManagedSession(GpuSession):
         if self.scheduler is not None and self.entry is not None:
             profile = self.scheduler.unregister(self.entry)
         self._teardown_worker()
-        if self.binding is not None:
+        if self.binding is not None and not self._unbound:
             self.mapper.unbind(self.binding)
+            self._unbound = True
+        if self.faults is not None:
+            self.faults.untrack(self)
         # Feedback rides the thread-exit response: no extra message cost.
         yield env.timeout(self._rsp())
         return profile
@@ -395,6 +435,55 @@ class ManagedSession(GpuSession):
     def _teardown_worker(self) -> None:
         if self.worker is not None:
             self.worker.thread_exit()
+
+    # -- fault recovery hooks (repro.faults) --------------------------------
+
+    def _check_aborted(self) -> None:
+        """Raise the pending fault abort (cleaning up first), if any."""
+        if self._aborted is not None:
+            self._abort_cleanup()
+            raise self._aborted
+
+    def _abort_cleanup(self) -> None:
+        """Release whatever this session still holds.  Idempotent."""
+        if (
+            self.entry is not None
+            and not self.entry.unregistered
+            and self.scheduler is not None
+        ):
+            self.scheduler.evict(self.entry)
+        self._teardown_worker()
+        if self.binding is not None and not self._unbound:
+            self.mapper.unbind(self.binding)
+            self._unbound = True
+        if self.faults is not None:
+            self.faults.untrack(self)
+
+    def abort(self, exc: BaseException) -> None:
+        """Kill the session with ``exc`` (called by the recovery manager).
+
+        Pending queued ops fail immediately (pre-defused: their drivers may
+        never look); in-flight device ops are allowed to complete in sim
+        time (see DESIGN.md §Fault Model for the calibration caveat), and
+        the driver's *next* call raises via :meth:`_post`.
+        """
+        if self._aborted is not None or self._finished:
+            return
+        self._aborted = exc
+        self._finished = True
+        pending = list(self._queue.items)
+        self._queue.items.clear()
+        for item in pending:
+            item.done.defused = True
+            if not item.done.triggered:
+                item.done.fail(exc)
+        self._abort_cleanup()
+
+    def dispose(self) -> None:
+        """Release resources without the graceful-finish protocol (used by
+        the recovery manager between re-dispatch attempts)."""
+        self._finished = True
+        self._abort_cleanup()
 
     # -- memory -----------------------------------------------------------------------------
 

@@ -47,6 +47,10 @@ class CudaRuntimeSystem:
         self.env = env
         self.nodes = list(nodes)
         self.network = network or Network()
+        #: Recovery manager (repro.faults); the baseline has no gPool so
+        #: fault injection leaves it alone, but the attribute exists for a
+        #: uniform system interface.
+        self.faults = None
 
     def session(
         self,
@@ -91,6 +95,10 @@ class _ScheduledSystem:
         self.daemons: Dict[str, BackendDaemon] = {
             node.hostname: BackendDaemon(env, node) for node in self.nodes
         }
+
+        #: Recovery manager (repro.faults) installed when fault injection
+        #: is active; sessions it hands out get tracked through it.
+        self.faults = None
 
         factory = device_policy if device_policy is not None else AlwaysAwake
         self.schedulers: Dict[int, GpuScheduler] = {}
@@ -140,7 +148,7 @@ class RainSystem(_ScheduledSystem):
             sess.scheduler = self.schedulers[gid]
             return daemon.design1_worker(app_name, entry.local_id)
 
-        return RainSession(
+        sess = RainSession(
             self.env,
             app_name,
             frontend_node,
@@ -151,6 +159,8 @@ class RainSystem(_ScheduledSystem):
             tenant_weight=tenant_weight,
             binder=binder,
         )
+        sess.faults = self.faults
+        return sess
 
 
 class StringsSystem(_ScheduledSystem):
@@ -187,7 +197,7 @@ class StringsSystem(_ScheduledSystem):
             sess._set_packer(self.packers[gid])
             return daemon.design3_worker(app_name, entry.local_id)
 
-        return StringsSession(
+        sess = StringsSession(
             self.env,
             app_name,
             frontend_node,
@@ -200,6 +210,8 @@ class StringsSystem(_ScheduledSystem):
             mot_enabled=self.mot_enabled,
             sst_enabled=self.sst_enabled,
         )
+        sess.faults = self.faults
+        return sess
 
 
 __all__ = [

@@ -14,6 +14,7 @@ class CudaErrorCode(enum.IntEnum):
     INVALID_DEVICE_POINTER = 17
     INVALID_RESOURCE_HANDLE = 33
     NO_DEVICE = 38
+    DEVICES_UNAVAILABLE = 46
     INVALID_DEVICE = 101
 
 

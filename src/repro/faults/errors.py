@@ -1,0 +1,47 @@
+"""Exception taxonomy of the fault-injection subsystem.
+
+These are the *injected* failure causes a session surfaces to the request
+driver mid-flight.  The recovery layer retries around them; only once the
+retry budget is exhausted does the application model see a CUDA-style
+``cudaErrorDevicesUnavailable`` (:class:`repro.cuda.errors.CudaError`
+with code 46), matching how a real multi-tenant runtime would report an
+unrecoverable loss of capacity.
+"""
+
+from __future__ import annotations
+
+
+class FaultError(RuntimeError):
+    """Base class of injected-fault failures delivered to sessions."""
+
+
+class DeviceLostError(FaultError):
+    """The bound GPU was lost (ECC/Xid-style device failure)."""
+
+    def __init__(self, gid: int, message: str = "") -> None:
+        super().__init__(message or f"GPU {gid} lost")
+        self.gid = gid
+
+
+class BackendCrashError(FaultError):
+    """The per-device backend process died, killing its tenant threads."""
+
+    def __init__(self, gid: int, message: str = "") -> None:
+        super().__init__(message or f"backend process of GPU {gid} crashed")
+        self.gid = gid
+
+
+class LinkPartitionError(FaultError):
+    """The node hosting the bound GPU became unreachable."""
+
+    def __init__(self, hostname: str, message: str = "") -> None:
+        super().__init__(message or f"node {hostname} unreachable")
+        self.hostname = hostname
+
+
+__all__ = [
+    "BackendCrashError",
+    "DeviceLostError",
+    "FaultError",
+    "LinkPartitionError",
+]

@@ -5,6 +5,8 @@ from __future__ import annotations
 import argparse
 import sys
 
+import repro.cluster.network as network_mod
+import repro.faults as faults
 import repro.obs as obs
 from repro.harness.runner import SCALE_PAPER, SCALE_QUICK
 from repro.obs import (
@@ -25,7 +27,7 @@ EXPERIMENTS = [
 ]
 
 #: Extensions beyond the paper's evaluation (not part of `all`).
-EXTENSIONS = ["scaleout", "ablations"]
+EXTENSIONS = ["scaleout", "ablations", "chaos"]
 
 
 def main(argv=None) -> int:
@@ -90,6 +92,29 @@ def main(argv=None) -> int:
         default=1.0,
         help="sim-time interval between sampler snapshots (default 1.0)",
     )
+    parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help="fault plan, e.g. 'gpu_fail@30:gid=1:down=20,"
+        "backend_crash@60:gid=0:restart=2,retries=8' "
+        "(KIND@T:field=value items plus mtbf=/retries=/backoff=/warmup= "
+        "globals; see DESIGN.md §Fault Model)",
+    )
+    parser.add_argument(
+        "--link-gbps",
+        metavar="GBPS",
+        type=float,
+        default=None,
+        help="interconnect bandwidth in Gb/s (default 10.0)",
+    )
+    parser.add_argument(
+        "--link-latency-us",
+        metavar="US",
+        type=float,
+        default=None,
+        help="one-way interconnect latency in microseconds (default 120)",
+    )
     args = parser.parse_args(argv)
     scale = SCALE_QUICK if args.scale == "quick" else SCALE_PAPER
 
@@ -97,6 +122,10 @@ def main(argv=None) -> int:
         parser.error(
             f"--sample-interval must be > 0 sim-seconds, got {args.sample_interval}"
         )
+    if args.link_gbps is not None and args.link_gbps <= 0:
+        parser.error(f"--link-gbps must be > 0, got {args.link_gbps}")
+    if args.link_latency_us is not None and args.link_latency_us < 0:
+        parser.error(f"--link-latency-us must be >= 0, got {args.link_latency_us}")
 
     slo_monitor = None
     if args.slo is not None:
@@ -104,6 +133,13 @@ def main(argv=None) -> int:
             slo_monitor = parse_slo_spec(args.slo)
         except ValueError as e:
             parser.error(f"--slo: {e}")
+
+    fault_plan = None
+    if args.faults is not None:
+        try:
+            fault_plan = faults.parse_fault_spec(args.faults)
+        except ValueError as e:
+            parser.error(f"--faults: {e}")
 
     out_paths = (
         args.trace, args.metrics_out, args.report, args.series_out, args.prom_out,
@@ -130,6 +166,18 @@ def main(argv=None) -> int:
         tel.sampler = Sampler(interval_s=args.sample_interval)
     if slo_monitor is not None:
         tel.slo = slo_monitor.bind(tel)
+
+    if args.link_gbps is not None or args.link_latency_us is not None:
+        network_mod.configure_defaults(
+            latency_s=(
+                args.link_latency_us * 1e-6
+                if args.link_latency_us is not None
+                else None
+            ),
+            bandwidth_gbps=args.link_gbps,
+        )
+    if fault_plan is not None:
+        faults.install_plan(fault_plan)
 
     try:
         targets = EXPERIMENTS if args.experiment == "all" else [args.experiment]
@@ -166,6 +214,8 @@ def main(argv=None) -> int:
     finally:
         if observing:
             obs.reset()
+        faults.reset_plan()
+        network_mod.reset_defaults()
     return 0
 
 

@@ -5,10 +5,12 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+import repro.faults as faults
 import repro.obs as obs
 from repro.sim import Environment
 from repro.sim.rng import RandomStream
 from repro.cluster import Network, Node
+from repro.cuda.errors import CudaError
 from repro.apps.models import AppSpec, RequestResult, run_request
 from repro.apps.catalog import REFERENCE_SPEC
 from repro.core.feedback import AppProfile
@@ -143,6 +145,8 @@ class StreamRunResult:
     results: List[RequestResult]
     sim_time_s: float
     wall_time_s: float
+    #: Availability summary when fault injection was active, else None.
+    faults_summary: Optional[Dict[str, object]] = None
 
     def per_app(self) -> Dict[str, List[RequestResult]]:
         out: Dict[str, List[RequestResult]] = {}
@@ -158,6 +162,7 @@ def run_stream_experiment(
     label: str = "",
     prewarm: bool = False,
     telemetry=None,
+    fault_plan=None,
 ) -> StreamRunResult:
     """Run request streams (one per node index) through a system.
 
@@ -167,7 +172,9 @@ def run_stream_experiment(
     (the "system has seen this application before" steady state of the
     feedback experiments).  ``telemetry`` overrides the installed default
     registry (see :mod:`repro.obs`); spans/decisions of this run are
-    labelled ``label``.
+    labelled ``label``.  ``fault_plan`` overrides the installed
+    process-wide fault plan (see :mod:`repro.faults`); with neither, the
+    run takes the unchanged null path.
     """
     tel = telemetry if telemetry is not None else obs.current()
     env = Environment(telemetry=tel)
@@ -177,6 +184,16 @@ def run_stream_experiment(
 
     if prewarm:
         prewarm_sft(system)
+
+    # Fault injection (repro.faults): only scheduled systems have a gPool
+    # to heal around — the CUDA baseline runs any plan as a no-op.
+    plan = fault_plan if fault_plan is not None else faults.current_plan()
+    recovery = None
+    if plan is not None and getattr(system, "pool", None) is not None:
+        recovery = faults.RecoveryManager(
+            env, system, retry=plan.retry, warmup_s=plan.warmup_s
+        )
+        faults.FaultInjector(env, plan, recovery).start()
 
     # Continuous sampling (ISSUE 2): the sampler loops forever, which is
     # safe here because the run is bounded by the all_of(procs) horizon.
@@ -191,12 +208,23 @@ def run_stream_experiment(
         if req.arrival_s > env.now:
             yield env.timeout(req.arrival_s - env.now)
         node = nodes[min(req.node_index, len(nodes) - 1)]
-        session = system.session(
-            req.app.short, node, tenant_id=req.tenant_id, tenant_weight=req.tenant_weight
-        )
-        result = yield env.process(
-            run_request(env, session, req.app, arrival_s=req.arrival_s)
-        )
+        if recovery is not None:
+            try:
+                result = yield env.process(recovery.run_resilient(node, req))
+            except CudaError:
+                # Retry budget exhausted: the request is lost (counted in
+                # the availability summary), the run carries on.
+                return
+        else:
+            session = system.session(
+                req.app.short,
+                node,
+                tenant_id=req.tenant_id,
+                tenant_weight=req.tenant_weight,
+            )
+            result = yield env.process(
+                run_request(env, session, req.app, arrival_s=req.arrival_s)
+            )
         collected.append(result)
 
     for stream in streams:
@@ -211,6 +239,7 @@ def run_stream_experiment(
         results=collected,
         sim_time_s=env.now,
         wall_time_s=sw.elapsed,
+        faults_summary=recovery.summary() if recovery is not None else None,
     )
 
 

@@ -287,6 +287,39 @@ def _slo_section(telemetry: Telemetry) -> List[str]:
     return parts
 
 
+def _fault_section(telemetry: Telemetry) -> List[str]:
+    events = telemetry.decisions.events_of("fault")
+    if not events:
+        return ['<p class="note">No faults injected (run with --faults).</p>']
+    counts: Dict[str, int] = {}
+    for e in events:
+        counts[e.name] = counts.get(e.name, 0) + 1
+    count_txt = ", ".join(f"{k}: {v}" for k, v in sorted(counts.items()))
+    parts = [
+        f'<p class="note">{len(events)} fault/recovery events '
+        f"({_esc(count_txt)}).</p>"
+    ]
+    shown = events[:EXCERPT_ROWS]
+    head = (
+        f"Timeline (first {len(shown)} of {len(events)})"
+        if len(events) > len(shown)
+        else "Timeline"
+    )
+    parts.append(f"<h3>{head}</h3>")
+    parts.append(
+        "<table><thead><tr><th>t (s)</th><th>event</th><th>details</th>"
+        "</tr></thead><tbody>"
+    )
+    for e in shown:
+        details = ", ".join(f"{k}={v}" for k, v in sorted(e.args.items()))
+        parts.append(
+            f'<tr><td>{e.t:.3f}</td><td class="lbl">{_esc(e.name)}</td>'
+            f'<td class="lbl">{_esc(details)}</td></tr>'
+        )
+    parts.append("</tbody></table>")
+    return parts
+
+
 def _decision_section(telemetry: Telemetry, run: str) -> List[str]:
     dec = telemetry.decisions
     placements = [p for p in dec.placements if (p.run_label or f"run{p.run_id}") == run]
@@ -373,6 +406,10 @@ def html_report(telemetry: Telemetry, title: str = "repro run report") -> str:
 
     parts.append('<div class="card"><h2>Tenant attribution</h2>')
     parts.extend(_attribution_table(telemetry))
+    parts.append("</div>")
+
+    parts.append('<div class="card"><h2>Faults &amp; recovery</h2>')
+    parts.extend(_fault_section(telemetry))
     parts.append("</div>")
 
     parts.append('<div class="card"><h2>SLO compliance</h2>')

@@ -145,6 +145,30 @@ class BackendDaemon:
         self._count_worker("design3")
         return thread
 
+    def crash_device(self, local_device: int) -> bool:
+        """Kill the per-device backend process (fault injection).
+
+        Every resident worker thread exits (their streams are destroyed and
+        allocations freed) and the process — plus any Design II master on
+        it — is forgotten, so the next binding re-spawns a fresh process,
+        exactly like a supervisor restarting a crashed daemon child.
+        Returns False when no process existed (nothing to crash).
+        """
+        self._masters.pop(local_device, None)
+        proc = self._device_procs.pop(local_device, None)
+        if proc is None:
+            return False
+        for thread in list(proc.threads):
+            if not thread.exited:
+                thread.thread_exit()
+        proc.teardown()
+        tel = self.env.telemetry
+        if tel.enabled:
+            tel.counter(
+                "backend.crashes", host=self.node.hostname, device=local_device
+            ).inc()
+        return True
+
     def resident_tenants(self, local_device: int) -> int:
         """Live Design III worker threads bound to ``local_device``."""
         proc = self._device_procs.get(local_device)

@@ -212,3 +212,35 @@ def test_design2_master_marshals_exceptions():
     env.process(client(env))
     env.run()
     assert caught == ["downstream"]
+
+
+def test_design2_master_survives_failing_call():
+    # Regression: a call that raises must only fail its submitter's event;
+    # the master's serve loop keeps running and serves later calls.
+    env = Environment()
+    nodes, _ = build_small_server(env)
+    daemon = BackendDaemon(env, nodes[0])
+    master = daemon.design2_master(local_device=0)
+
+    def bad_call(thread):
+        yield env.timeout(0)
+        raise ValueError("boom")
+
+    def good_call(thread):
+        yield env.timeout(0)
+        return "still alive"
+
+    outcomes = []
+
+    def client(env):
+        try:
+            yield master.submit(bad_call)
+        except ValueError as exc:
+            outcomes.append(("failed", str(exc)))
+        yield env.timeout(1.0)
+        outcomes.append(("ok", (yield master.submit(good_call))))
+
+    env.process(client(env))
+    env.run()
+    assert outcomes == [("failed", "boom"), ("ok", "still alive")]
+    assert master.calls_served == 1  # failed call is not counted as served

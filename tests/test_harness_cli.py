@@ -40,3 +40,45 @@ def test_fig2_quick_runs_and_prints(capsys):
     assert "sequential" in out
     assert "concurrent" in out
     assert "ctx switches" in out
+
+
+def test_cli_lists_chaos_extension():
+    assert "chaos" in EXTENSIONS
+
+
+def test_cli_rejects_bad_fault_spec(capsys):
+    with pytest.raises(SystemExit):
+        main(["fig1", "--faults", "gpu_melt@5:gid=0"])
+    assert "--faults" in capsys.readouterr().err
+
+
+def test_cli_rejects_bad_link_flags(capsys):
+    with pytest.raises(SystemExit):
+        main(["fig1", "--link-gbps", "0"])
+    with pytest.raises(SystemExit):
+        main(["fig1", "--link-latency-us", "-1"])
+
+
+def test_cli_link_flags_apply_and_reset(capsys):
+    from repro.cluster import Network
+
+    assert main(["fig1", "--link-gbps", "20", "--link-latency-us", "50"]) == 0
+    # Defaults are restored once the run finishes.
+    net = Network()
+    assert net.bandwidth_gbps == 10.0
+    assert net.latency_s == pytest.approx(120e-6)
+
+
+def test_cli_runs_chaos_with_fault_spec(capsys):
+    import repro.faults as faults
+
+    assert (
+        main(
+            ["chaos", "--scale", "quick",
+             "--faults", "gpu_fail@20:gid=1:down=10,retries=8,warmup=1"]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "[chaos] requests lost: 0" in out
+    assert faults.current_plan() is None  # plan slot reset after the run
