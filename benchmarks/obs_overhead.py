@@ -3,23 +3,27 @@
 Runs a fig9-sized workload under three registries — null (observability
 off, the zero-overhead default), sampling-only (the continuous sampler
 and nothing else), and the full per-op registry (spans + attribution +
-sampler) — and records wall-clock times to ``BENCH_obs_overhead.json``
-at the repo root.  The gate: continuous sampling must cost < 10 % over
-the obs-off baseline.  The full registry is recorded for context only;
-its per-op spans are priced separately and deliberately (you only pay
-when exporting traces/reports).
+sampler) — and records per-configuration CPU times to
+``BENCH_obs_overhead.json`` at the repo root.  Two gates (ISSUE 4):
+
+* continuous sampling must cost < 10 % over the obs-off baseline;
+* the full per-op registry must cost < 20 % (down from the 31.8 %
+  recorded before the ISSUE 4 fast paths: cached instrument lookups,
+  precomputed span metadata, zero-wait early-outs).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/obs_overhead.py [--rounds N]
 
 The configurations run round-robin for ``--rounds`` rounds (default 3)
-after one warm-up pass, and the *minimum* wall time per configuration is
-compared — interleaving plus min-of-N discards scheduler and clock-speed
-noise rather than averaging it in.
+after one warm-up pass, and the *minimum* process-CPU time per
+configuration is compared — interleaving plus min-of-N discards
+scheduler and clock-frequency noise rather than averaging it in
+(``process_time`` rather than wall clock, for the same reason).
 """
 
 import argparse
+import gc
 import json
 import os
 import sys
@@ -31,6 +35,7 @@ if _SRC not in sys.path:
 
 OUT_PATH = os.path.join(os.path.dirname(_SRC), "BENCH_obs_overhead.json")
 THRESHOLD = 0.10
+FULL_THRESHOLD = 0.20
 
 
 def workload(telemetry=None, sample_interval_s=1.0):
@@ -57,15 +62,25 @@ def workload(telemetry=None, sample_interval_s=1.0):
 
 
 def measure(rounds, configs):
-    """Min wall time per config, interleaved round-robin."""
+    """Min CPU time per config, interleaved round-robin.
+
+    Collection is forced before — and automatic GC disabled during —
+    each timed run, so lumpy collector pauses land outside the clock
+    instead of randomly penalising whichever config triggered them.
+    """
     best = {name: float("inf") for name in configs}
     workload()  # warm-up: imports and code caches, outside the clock
     for _ in range(rounds):
         for name, make_telemetry in configs.items():
             tel = make_telemetry()
-            t0 = time.perf_counter()
-            workload(telemetry=tel)
-            best[name] = min(best[name], time.perf_counter() - t0)
+            gc.collect()
+            gc.disable()
+            try:
+                t0 = time.process_time()
+                workload(telemetry=tel)
+                best[name] = min(best[name], time.process_time() - t0)
+            finally:
+                gc.enable()
     return best
 
 
@@ -83,27 +98,33 @@ def main(argv=None) -> int:
     })
     off_s, on_s, full_s = best["off"], best["sampler"], best["full"]
     overhead = on_s / off_s - 1.0
+    full_overhead = full_s / off_s - 1.0
 
     record = {
         "bench": "obs_overhead",
         "workload": "fig9-sized (12 app streams, GMin-Strings, quick scale)",
         "rounds": args.rounds,
-        "obs_off_wall_s": round(off_s, 4),
-        "sampler_on_wall_s": round(on_s, 4),
-        "full_registry_wall_s": round(full_s, 4),
+        "obs_off_cpu_s": round(off_s, 4),
+        "sampler_on_cpu_s": round(on_s, 4),
+        "full_registry_cpu_s": round(full_s, 4),
         "overhead_fraction": round(overhead, 4),
-        "full_registry_overhead_fraction": round(full_s / off_s - 1.0, 4),
+        "full_registry_overhead_fraction": round(full_overhead, 4),
         "threshold_fraction": THRESHOLD,
-        "pass": overhead < THRESHOLD,
+        "full_threshold_fraction": FULL_THRESHOLD,
+        "pass": overhead < THRESHOLD and full_overhead < FULL_THRESHOLD,
     }
     with open(OUT_PATH, "w") as fh:
         json.dump(record, fh, indent=2)
         fh.write("\n")
     print(json.dumps(record, indent=2))
-    if not record["pass"]:
+    if overhead >= THRESHOLD:
         print(f"FAIL: sampler overhead {overhead:.1%} >= {THRESHOLD:.0%}", file=sys.stderr)
-        return 1
-    return 0
+    if full_overhead >= FULL_THRESHOLD:
+        print(
+            f"FAIL: full-registry overhead {full_overhead:.1%} >= {FULL_THRESHOLD:.0%}",
+            file=sys.stderr,
+        )
+    return 0 if record["pass"] else 1
 
 
 if __name__ == "__main__":

@@ -177,12 +177,31 @@ def run_request(
             args={"app": spec.short, "rid": rid},
             start=bound_at,
         ).finish(env.now)
+    cpu_name = f"cpu:{spec.short}"
+    cpu_track = f"app:{spec.short}"
+    cpu_args = {"app": spec.short, "rid": rid}
+
+    def _cpu_span(started: float) -> None:
+        if root is not None and env.now > started:
+            tel.start_span(
+                cpu_name,
+                cat="cpu",
+                track=cpu_track,
+                parent=root,
+                args=cpu_args,
+                start=started,
+            ).finish(env.now)
+
     ptr = yield session.malloc(spec.buffer_bytes)
+    cpu0 = env.now
     yield env.timeout(spec.cpu_pre_s)
+    _cpu_span(cpu0)
 
     for _ in range(spec.iterations):
         if spec.cpu_iter_s > 0:
+            cpu0 = env.now
             yield env.timeout(spec.cpu_iter_s)
+            _cpu_span(cpu0)
         yield session.memcpy(spec.h2d_bytes, CopyKind.H2D)
         yield session.launch(
             spec.kernel_flops,
@@ -200,6 +219,9 @@ def run_request(
         completion = env.now - arrived
         tel.histogram("request.completion_s", app=spec.short).observe(completion)
         gid = getattr(getattr(session, "binding", None), "gid", programmed_device)
+        if root.args is not None:
+            # Binding GID, for the critical-path profiler's per-GPU blame.
+            root.args["gid"] = gid
         tel.attribution.record_request(
             session.tenant_id, gid, spec.short, completion, spec.solo_runtime_s()
         )

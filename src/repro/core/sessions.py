@@ -84,6 +84,7 @@ class DirectSession(GpuSession):
         self.node = node
         self._proc: Optional[HostProcess] = None
         self._thread: Optional[CudaThread] = None
+        self._gid = 0
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -92,6 +93,7 @@ class DirectSession(GpuSession):
             self._proc = HostProcess(self.env, self.node.devices, name=self.app_name)
             self._thread = self._proc.spawn_thread()
             self._thread.set_device(programmed_device)
+            self._gid = programmed_device
             yield self.env.timeout(0)
             return programmed_device
 
@@ -105,11 +107,58 @@ class DirectSession(GpuSession):
 
         return self.env.process(_finish(), name=f"finish:{self.app_name}")
 
+    # -- observability ------------------------------------------------------
+
+    def _obs_op(self, evt: Event, phase: str) -> Event:
+        """Wrap a device op's completion in a session-side child span.
+
+        The bare runtime has no backend issue loop, so the baseline's op
+        coverage — kernel/copy blame for the critical-path profiler and
+        the tenant-attribution rows the reconciliation pass checks — is
+        hooked here, at the same interposition point the paper's systems
+        would own.  Without this every CUDA-baseline request would show
+        as 100% "scheduler overhead" in the blame table.
+        """
+        tel = self.env.telemetry
+        if not tel.enabled:
+            return evt
+        span = tel.start_span(
+            f"{phase}:{self.app_name}",
+            cat=PHASE_CATEGORY.get(phase, "default"),
+            track=f"app:{self.app_name}",
+            parent=self.root_span,
+            args={"app": self.app_name, "phase": phase},
+        )
+
+        def _cb(e: Event) -> None:
+            span.finish(self.env.now)
+            record = e.value if e.ok else None
+            if isinstance(record, dict):
+                op = record.get("op")
+                seconds = record["finished_at"] - record["started_at"]
+                if isinstance(op, KernelOp):
+                    tel.attribution.record_kernel(
+                        self.tenant_id, self._gid, seconds, op.bytes_accessed
+                    )
+                elif isinstance(op, CopyOp):
+                    tel.attribution.record_copy(
+                        self.tenant_id, self._gid, seconds, op.nbytes
+                    )
+
+        if evt.callbacks is None:
+            _cb(evt)
+        else:
+            evt.callbacks.append(_cb)
+        return evt
+
     # -- calls ------------------------------------------------------------------
 
     def malloc(self, nbytes: int) -> Event:
-        return self.env.process(
-            malloc_with_backpressure(self.env, self._thread, nbytes)
+        return self._obs_op(
+            self.env.process(
+                malloc_with_backpressure(self.env, self._thread, nbytes)
+            ),
+            GpuPhase.DFL.value,
         )
 
     def free(self, ptr: int) -> Event:
@@ -120,15 +169,20 @@ class DirectSession(GpuSession):
         return self.env.process(_free())
 
     def memcpy(self, nbytes: int, kind: CopyKind) -> Event:
-        return self._thread.memcpy(nbytes, kind, tag=self.app_name)
+        return self._obs_op(
+            self._thread.memcpy(nbytes, kind, tag=self.app_name), kind.value
+        )
 
     def launch(self, flops: float, bytes_accessed: float, occupancy: float = 1.0, tag: str = "") -> Event:
-        return self._thread.launch_kernel(
-            flops, bytes_accessed, occupancy, tag=tag or self.app_name
+        return self._obs_op(
+            self._thread.launch_kernel(
+                flops, bytes_accessed, occupancy, tag=tag or self.app_name
+            ),
+            GpuPhase.KL.value,
         )
 
     def synchronize(self) -> Event:
-        return self._thread.device_synchronize()
+        return self._obs_op(self._thread.device_synchronize(), GpuPhase.DFL.value)
 
     @property
     def worker(self) -> Optional[CudaThread]:
@@ -201,6 +255,19 @@ class ManagedSession(GpuSession):
         self._aborted: Optional[BaseException] = None
         self._unbound = False
 
+        # -- hot-path observability caches (overhead satellite, ISSUE 4).
+        #: Track name shared by every session-side span of this app.
+        self._obs_track = f"app:{app_name}"
+        #: phase -> (span name, category, shared args dict), built lazily.
+        self._obs_phase: dict = {}
+        #: (telemetry, Histogram) pairs for the per-op wait histograms.
+        self._obs_queue_hist: Optional[tuple] = None
+        self._obs_gate_hist: Optional[tuple] = None
+        #: (telemetry, gid, TenantUsage) for the current binding.
+        self._obs_row: Optional[tuple] = None
+        #: nbytes -> (staging span name, shared args dict).
+        self._obs_staging: dict = {}
+
     # -- plumbing provided by the owning system -----------------------------
 
     def _make_worker(self, gid: int) -> CudaThread:
@@ -225,22 +292,29 @@ class ManagedSession(GpuSession):
         while True:
             item: _IssueItem = yield self._queue.get()
             tel = env.telemetry
-            if tel.enabled:
+            if tel.enabled and env.now > item.posted_at:
                 self._obs_queue_wait(tel, item)
             if item.gated and self.scheduler is not None and self.entry is not None:
                 parked_at = env.now
                 yield self.scheduler.permission(self.entry, item.phase)
                 self.entry.issue()
-                if tel.enabled:
+                if tel.enabled and env.now > parked_at:
                     self._obs_gate_park(tel, item, parked_at)
             op_span = None
             if tel.enabled:
+                meta = self._obs_phase.get(item.phase)
+                if meta is None:
+                    meta = self._obs_phase[item.phase] = (
+                        f"{item.phase.value}:{self.app_name}",
+                        PHASE_CATEGORY.get(item.phase.value, "default"),
+                        {"app": self.app_name, "phase": item.phase.value},
+                    )
                 op_span = tel.start_span(
-                    f"{item.phase.value}:{self.app_name}",
-                    cat=PHASE_CATEGORY.get(item.phase.value, "default"),
-                    track=f"app:{self.app_name}",
+                    meta[0],
+                    cat=meta[1],
+                    track=self._obs_track,
                     parent=self.root_span,
-                    args={"app": self.app_name, "phase": item.phase.value},
+                    args=meta[2],
                 )
             try:
                 completion = item.make()
@@ -287,35 +361,68 @@ class ManagedSession(GpuSession):
 
     # -- observability hooks (only reached when telemetry is enabled) --------
 
+    def _obs_usage(self, tel):
+        """The session's attribution row, cached per (telemetry, gid).
+
+        Direct row mutation replaces the ``record_*`` indirection on the
+        per-op paths; all callers sit behind ``tel.enabled`` guards, so
+        the null table's no-op overrides are never bypassed in effect.
+        """
+        gid = self.binding.gid if self.binding is not None else -1
+        row = self._obs_row
+        if row is None or row[0] is not tel or row[1] != gid:
+            row = self._obs_row = (tel, gid, tel.attribution.usage(self.tenant_id, gid))
+        return row[2]
+
     def _obs_queue_wait(self, tel, item: _IssueItem) -> None:
-        """Record the op's wait in the backend issue queue."""
+        """Record the op's wait in the backend issue queue.
+
+        Ops issued immediately (the common, unloaded case) record
+        nothing — the histogram counts *actual* waits, and a zero adds
+        nothing to the attribution row anyway.
+        """
         wait = self.env.now - item.posted_at
-        tel.histogram("session.queue_wait_s", app=self.app_name).observe(wait)
-        tel.attribution.record_wait(self.tenant_id, self._obs_gid(), queue_s=wait)
-        if wait > 0:
-            tel.start_span(
-                f"queue:{self.app_name}",
-                cat=CAT_QUEUE,
-                track=f"app:{self.app_name}",
-                parent=self.root_span,
-                args={"app": self.app_name, "phase": item.phase.value},
-                start=item.posted_at,
-            ).finish(self.env.now)
+        if wait <= 0.0:
+            return
+        hist = self._obs_queue_hist
+        if hist is None or hist[0] is not tel:
+            hist = self._obs_queue_hist = (
+                tel, tel.histogram("session.queue_wait_s", app=self.app_name)
+            )
+        hist[1].observe(wait)
+        self._obs_usage(tel).queue_wait_s += wait
+        tel.start_span(
+            f"queue:{self.app_name}",
+            cat=CAT_QUEUE,
+            track=self._obs_track,
+            parent=self.root_span,
+            args={"app": self.app_name, "phase": item.phase.value},
+            start=item.posted_at,
+        ).finish(self.env.now)
 
     def _obs_gate_park(self, tel, item: _IssueItem, parked_at: float) -> None:
-        """Record time parked at the dispatch gate waiting for a wake."""
+        """Record time parked at the dispatch gate waiting for a wake.
+
+        Like :meth:`_obs_queue_wait`, instant grants record nothing.
+        """
         parked = self.env.now - parked_at
-        tel.histogram("session.gate_park_s", app=self.app_name).observe(parked)
-        tel.attribution.record_wait(self.tenant_id, self._obs_gid(), gate_s=parked)
-        if parked > 0:
-            tel.start_span(
-                f"gate:{self.app_name}",
-                cat=CAT_GATE,
-                track=f"app:{self.app_name}",
-                parent=self.root_span,
-                args={"app": self.app_name, "phase": item.phase.value},
-                start=parked_at,
-            ).finish(self.env.now)
+        if parked <= 0.0:
+            return
+        hist = self._obs_gate_hist
+        if hist is None or hist[0] is not tel:
+            hist = self._obs_gate_hist = (
+                tel, tel.histogram("session.gate_park_s", app=self.app_name)
+            )
+        hist[1].observe(parked)
+        self._obs_usage(tel).gate_park_s += parked
+        tel.start_span(
+            f"gate:{self.app_name}",
+            cat=CAT_GATE,
+            track=self._obs_track,
+            parent=self.root_span,
+            args={"app": self.app_name, "phase": item.phase.value},
+            start=parked_at,
+        ).finish(self.env.now)
 
     def _hook_completion(
         self, completion: Event, done: Event, account: bool = True, span=None
@@ -354,14 +461,13 @@ class ManagedSession(GpuSession):
         if tel.enabled and isinstance(record, dict):
             op = record.get("op")
             seconds = record["finished_at"] - record["started_at"]
+            row = self._obs_usage(tel)
             if isinstance(op, KernelOp):
-                tel.attribution.record_kernel(
-                    self.tenant_id, self._obs_gid(), seconds, op.bytes_accessed
-                )
+                row.gpu_busy_s += seconds
+                row.kernel_bytes_gb += op.bytes_accessed
             elif isinstance(op, CopyOp):
-                tel.attribution.record_copy(
-                    self.tenant_id, self._obs_gid(), seconds, op.nbytes
-                )
+                row.transfer_s += seconds
+                row.bytes_moved_gb += op.nbytes / 1e9
 
     def _post(self, phase: GpuPhase, make, blocking: bool, gated: bool = True) -> Event:
         if self._aborted is not None:
@@ -657,12 +763,18 @@ class StringsSession(ManagedSession):
         yield env.timeout(self.rpc.staging_delay(nbytes))
         tel = env.telemetry
         if tel.enabled and env.now > staged_at:
+            meta = self._obs_staging.get(nbytes)
+            if meta is None:
+                meta = self._obs_staging[nbytes] = (
+                    f"staging:{self.app_name}",
+                    {"app": self.app_name, "bytes": nbytes},
+                )
             tel.start_span(
-                f"staging:{self.app_name}",
+                meta[0],
                 cat="staging",
-                track=f"app:{self.app_name}",
+                track=self._obs_track,
                 parent=self.root_span,
-                args={"app": self.app_name, "bytes": nbytes},
+                args=meta[1],
                 start=staged_at,
             ).finish(env.now)
         self._post(

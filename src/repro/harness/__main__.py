@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import repro.cluster.network as network_mod
@@ -12,7 +13,14 @@ from repro.harness.runner import SCALE_PAPER, SCALE_QUICK
 from repro.obs import (
     Sampler,
     Telemetry,
+    analyze,
+    check_tolerances,
+    diff_runs,
+    metrics_dict,
     parse_slo_spec,
+    parse_tolerance_spec,
+    render_analysis,
+    render_diff,
     summary_table,
     write_chrome_trace,
     write_html_report,
@@ -29,6 +37,23 @@ EXPERIMENTS = [
 #: Extensions beyond the paper's evaluation (not part of `all`).
 EXTENSIONS = ["scaleout", "ablations", "chaos"]
 
+#: Offline analysis tools over previously exported runs (ISSUE 4).
+TOOLS = ["analyze", "diff"]
+
+
+def _load_metrics_doc(parser, flag: str, path: str) -> dict:
+    """Load an exported metrics JSON, parser.error-ing on bad input."""
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except OSError as e:
+        parser.error(f"{flag}: cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        parser.error(f"{flag}: {path} is not valid JSON: {e}")
+    if not isinstance(doc, dict):
+        parser.error(f"{flag}: {path} is not a metrics document (expected an object)")
+    return doc
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
@@ -37,8 +62,11 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=EXPERIMENTS + EXTENSIONS + ["all"],
-        help="which table/figure to regenerate ('all' runs the paper's set)",
+        choices=EXPERIMENTS + EXTENSIONS + TOOLS + ["all"],
+        help="which table/figure to regenerate ('all' runs the paper's set); "
+        "'analyze' prints the critical-path blame of a saved run "
+        "(--run RUN.json), 'diff' compares two saved runs "
+        "(--run RUN.json --baseline BASE.json)",
     )
     parser.add_argument(
         "--scale",
@@ -115,6 +143,52 @@ def main(argv=None) -> int:
         default=None,
         help="one-way interconnect latency in microseconds (default 120)",
     )
+    parser.add_argument(
+        "--analyze",
+        action="store_true",
+        help="after the run, print the critical-path blame table "
+        "(per-phase/GPU/tenant, top-k slowest, engine reconciliation)",
+    )
+    parser.add_argument(
+        "--diff-against",
+        metavar="PATH",
+        default=None,
+        help="compare this run against a previously exported metrics JSON "
+        "(--metrics-out of an earlier run) and print the delta",
+    )
+    parser.add_argument(
+        "--diff-out",
+        metavar="PATH",
+        default=None,
+        help="write the run-comparison delta as a JSON artifact to PATH",
+    )
+    parser.add_argument(
+        "--run",
+        metavar="PATH",
+        default=None,
+        help="saved metrics JSON for the 'analyze'/'diff' tools",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="baseline metrics JSON for the 'diff' tool",
+    )
+    parser.add_argument(
+        "--top-k",
+        metavar="N",
+        type=int,
+        default=10,
+        help="slowest-request digest length for --analyze (default 10)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        metavar="SPEC",
+        default=None,
+        help="per-metric relative tolerances for diffs, e.g. "
+        "'kernel=0.05,p99=0.10,default=0.02' (KEY=FRACTION items; exit 1 "
+        "when a diff exceeds them)",
+    )
     args = parser.parse_args(argv)
     scale = SCALE_QUICK if args.scale == "quick" else SCALE_PAPER
 
@@ -122,6 +196,57 @@ def main(argv=None) -> int:
         parser.error(
             f"--sample-interval must be > 0 sim-seconds, got {args.sample_interval}"
         )
+    if args.top_k <= 0:
+        parser.error(f"--top-k must be > 0, got {args.top_k}")
+
+    tolerances = None
+    if args.tolerance is not None:
+        try:
+            tolerances = parse_tolerance_spec(args.tolerance)
+        except ValueError as e:
+            parser.error(f"--tolerance: {e}")
+
+    # A baseline for --diff-against must exist and parse *before* the
+    # experiments burn any time (mirrors the --slo/--faults validation).
+    baseline_doc = None
+    if args.diff_against is not None:
+        baseline_doc = _load_metrics_doc(parser, "--diff-against", args.diff_against)
+
+    # -- offline tools: no simulation, just saved-run post-processing ------
+    if args.experiment == "analyze":
+        if args.run is None:
+            parser.error("analyze requires --run RUN.json (a --metrics-out export)")
+        doc = _load_metrics_doc(parser, "--run", args.run)
+        analysis = doc.get("analysis")
+        if not analysis:
+            parser.error(
+                f"--run: {args.run} has no 'analysis' section "
+                "(re-export it with --metrics-out from this version)"
+            )
+        print(render_analysis(analysis, top_k=args.top_k))
+        return 0
+    if args.experiment == "diff":
+        if args.run is None or args.baseline is None:
+            parser.error("diff requires --run RUN.json and --baseline BASE.json")
+        doc = _load_metrics_doc(parser, "--run", args.run)
+        base = _load_metrics_doc(parser, "--baseline", args.baseline)
+        delta = diff_runs(
+            base, doc, base_label=args.baseline, other_label=args.run
+        )
+        print(render_diff(delta))
+        if args.diff_out is not None:
+            with open(args.diff_out, "w") as fh:
+                json.dump(delta, fh, indent=2, sort_keys=True)
+            print(f"[diff written to {args.diff_out}]")
+        if tolerances is not None:
+            failures = check_tolerances(delta, tolerances)
+            if failures:
+                print("tolerance check FAILED:")
+                for f in failures:
+                    print(f"  {f}")
+                return 1
+            print("tolerance check passed")
+        return 0
     if args.link_gbps is not None and args.link_gbps <= 0:
         parser.error(f"--link-gbps must be > 0, got {args.link_gbps}")
     if args.link_latency_us is not None and args.link_latency_us < 0:
@@ -142,7 +267,8 @@ def main(argv=None) -> int:
             parser.error(f"--faults: {e}")
 
     out_paths = (
-        args.trace, args.metrics_out, args.report, args.series_out, args.prom_out,
+        args.trace, args.metrics_out, args.report, args.series_out,
+        args.prom_out, args.diff_out,
     )
     # Fail on unwritable output paths now, not after the experiments ran.
     for path in out_paths:
@@ -155,7 +281,12 @@ def main(argv=None) -> int:
 
     # Any observing flag installs a real registry — including --metrics-out
     # on its own, so its summary still carries span-derived p50/p99.
-    observing = any(p is not None for p in out_paths) or slo_monitor is not None
+    observing = (
+        any(p is not None for p in out_paths)
+        or slo_monitor is not None
+        or args.analyze
+        or baseline_doc is not None
+    )
     tel = obs.install(Telemetry()) if observing else obs.current()
 
     # The sampler powers the series CSV, report sparklines and windowed
@@ -191,6 +322,15 @@ def main(argv=None) -> int:
                     module.main(scale)
             print(f"[{name} done in {sw.elapsed:.1f}s]\n")
 
+        delta = None
+        if baseline_doc is not None:
+            delta = diff_runs(
+                baseline_doc,
+                metrics_dict(tel),
+                base_label=args.diff_against,
+                other_label=f"this run ({args.experiment})",
+            )
+
         if args.trace is not None:
             write_chrome_trace(tel, args.trace)
             print(f"[trace written to {args.trace}]")
@@ -203,14 +343,35 @@ def main(argv=None) -> int:
         if args.prom_out is not None:
             write_prometheus(tel, args.prom_out)
             print(f"[prometheus metrics written to {args.prom_out}]")
+        if delta is not None and args.diff_out is not None:
+            with open(args.diff_out, "w") as fh:
+                json.dump(delta, fh, indent=2, sort_keys=True)
+            print(f"[diff written to {args.diff_out}]")
         if args.report is not None:
             write_html_report(
-                tel, args.report, title=f"repro run report: {args.experiment}"
+                tel,
+                args.report,
+                title=f"repro run report: {args.experiment}",
+                comparison=delta,
             )
             print(f"[HTML report written to {args.report}]")
         if observing:
             print()
             print(summary_table(tel))
+        if args.analyze:
+            print()
+            print(render_analysis(analyze(tel, top_k=args.top_k), top_k=args.top_k))
+        if delta is not None:
+            print()
+            print(render_diff(delta))
+            if tolerances is not None:
+                failures = check_tolerances(delta, tolerances)
+                if failures:
+                    print("tolerance check FAILED:")
+                    for f in failures:
+                        print(f"  {f}")
+                    return 1
+                print("tolerance check passed")
     finally:
         if observing:
             obs.reset()

@@ -21,7 +21,12 @@ whole stack:
   dumps, Prometheus text exposition, CSV series dumps and the per-run
   summary table;
 * :mod:`repro.obs.report` — the self-contained static HTML run report
-  (sparklines, attribution table, SLO summary).
+  (sparklines, attribution table, SLO summary, run-comparison card);
+* :mod:`repro.obs.analysis` — offline analysis (ISSUE 4): the
+  critical-path profiler (per-request blame vectors, per-phase/GPU/tenant
+  aggregates, top-k slowest digest, reconciliation against engine
+  accounting), run diffing between exported metrics documents, and the
+  tolerance-spec grammar shared with ``benchmarks/perf_gate.py``.
 
 The **default registry** is a process-wide slot consulted by
 :class:`~repro.sim.core.Environment` when no registry is passed
@@ -30,6 +35,19 @@ simulation constructed afterwards — any figure harness included — is
 traced; :func:`reset` restores the null registry.
 """
 
+from repro.obs.analysis import (
+    RequestBlame,
+    RunProfile,
+    analyze,
+    check_tolerances,
+    diff_runs,
+    parse_tolerance_spec,
+    profile_dict,
+    profile_requests,
+    render_analysis,
+    render_diff,
+    top_slowest,
+)
 from repro.obs.attribution import (
     NULL_ATTRIBUTION,
     AttributionTable,
@@ -105,6 +123,8 @@ __all__ = [
     "SamplingTelemetry",
     "PlacementDecision",
     "PolicySwitch",
+    "RequestBlame",
+    "RunProfile",
     "Sampler",
     "Series",
     "SloMonitor",
@@ -114,14 +134,23 @@ __all__ = [
     "Stopwatch",
     "Telemetry",
     "TenantUsage",
+    "analyze",
+    "check_tolerances",
     "current",
+    "diff_runs",
     "html_report",
     "install",
     "metrics_dict",
     "parse_slo_spec",
+    "parse_tolerance_spec",
+    "profile_dict",
+    "profile_requests",
+    "render_analysis",
+    "render_diff",
     "reset",
     "series_csv",
     "summary_table",
+    "top_slowest",
     "to_chrome_trace",
     "to_prometheus",
     "write_chrome_trace",

@@ -25,6 +25,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Tuple
 
+from repro.obs.analysis import analyze
 from repro.obs.instruments import Counter, Gauge, Histogram, Telemetry
 from repro.obs.spans import CAT_REQUEST, mean_phase_latency, phase_breakdown, request_spans
 
@@ -153,13 +154,20 @@ def to_chrome_trace(telemetry: Telemetry) -> Dict[str, Any]:
             }
         )
 
+    # Byte-deterministic output (ISSUE 4): metadata ordered by (pid, tid)
+    # and events by (ts, pid, tid, name) — the sort is stable, so equal
+    # keys keep their (deterministic) recording order.  Two identical
+    # runs therefore export byte-identical documents, which run diffing
+    # and the perf gate rely on.
+    ids.meta.sort(key=lambda m: (m["pid"], m["tid"]))
+    events.sort(key=lambda e: (e["ts"], e["pid"], e["tid"], e["name"]))
     return {"traceEvents": ids.meta + events, "displayTimeUnit": "ms"}
 
 
 def write_chrome_trace(telemetry: Telemetry, path: str) -> None:
-    """Write the Chrome trace JSON to ``path``."""
+    """Write the Chrome trace JSON to ``path`` (byte-deterministic)."""
     with open(path, "w") as fh:
-        json.dump(to_chrome_trace(telemetry), fh)
+        json.dump(to_chrome_trace(telemetry), fh, sort_keys=True)
 
 
 def metrics_dict(telemetry: Telemetry) -> Dict[str, Any]:
@@ -233,6 +241,9 @@ def metrics_dict(telemetry: Telemetry) -> Dict[str, Any]:
         ],
         "slo": telemetry.slo.summary() if telemetry.slo is not None else [],
         "runs": telemetry.run_id,
+        # Critical-path blame vectors (ISSUE 4), so an exported metrics
+        # JSON is a self-contained input to `repro.harness analyze/diff`.
+        "analysis": analyze(telemetry),
     }
 
 

@@ -262,10 +262,17 @@ class Telemetry:
 
     def __init__(self) -> None:
         self._instruments: Dict[Tuple[type, InstrumentKey], Any] = {}
+        #: Hot-path lookup cache keyed by the *un-sorted* label items, so
+        #: repeat calls from the same callsite skip the sort+str
+        #: canonicalisation in :func:`_labels_key`.  Different kwarg
+        #: orders for one series hit different fast keys but resolve to
+        #: the same canonical instrument.
+        self._fast: Dict[Tuple, Any] = {}
         #: Instruments created outside the registry but adopted into it
         #: (e.g. the dispatch gate's always-on wake/sleep counters).
         self._adopted: List[Any] = []
         self.spans: List[Span] = []
+        self._append_span = self.spans.append
         self.decisions = DecisionLog(self)
         #: Ring-buffered time series, keyed like instruments (ISSUE 2).
         self.series: Dict[InstrumentKey, Any] = {}
@@ -296,11 +303,21 @@ class Telemetry:
     # -- instrument factories ----------------------------------------------
 
     def _get(self, cls, name: str, labels: Dict[str, Any]):
+        try:
+            fast = (cls, name, *labels.items())
+            inst = self._fast.get(fast)
+        except TypeError:  # unhashable label value: canonical path only
+            fast = None
+            inst = None
+        if inst is not None:
+            return inst
         key = (cls, (name, _labels_key(labels)))
         inst = self._instruments.get(key)
         if inst is None:
             inst = cls(name, **labels)
             self._instruments[key] = inst
+        if fast is not None:
+            self._fast[fast] = inst
         return inst
 
     def counter(self, name: str, **labels: Any) -> Counter:
@@ -346,17 +363,22 @@ class Telemetry:
         args: Optional[Dict[str, Any]] = None,
         start: Optional[float] = None,
     ) -> Span:
-        sp = Span(
-            name,
-            cat,
-            track,
-            self._clock() if start is None else start,
-            parent_id=parent.span_id if parent is not None else None,
-            args=args,
-            run_id=self.run_id,
-            run_label=self.run_label,
-        )
-        self.spans.append(sp)
+        # Builds the Span inline rather than via Span.__init__: this is
+        # the hottest allocation in a fully-instrumented run (one per op
+        # per layer), and skipping the constructor call is worth ~1/3 of
+        # its cost.  Keep the field set in lockstep with Span.__slots__.
+        sp = Span.__new__(Span)
+        sp.span_id = next(_span_ids)
+        sp.name = name
+        sp.cat = cat
+        sp.track = track
+        sp.start = self._clock() if start is None else start
+        sp.end = None
+        sp.parent_id = parent.span_id if parent is not None else None
+        sp.args = args
+        sp.run_id = self.run_id
+        sp.run_label = self.run_label
+        self._append_span(sp)
         return sp
 
     # -- views -------------------------------------------------------------

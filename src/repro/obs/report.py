@@ -365,8 +365,91 @@ def _decision_section(telemetry: Telemetry, run: str) -> List[str]:
     return parts
 
 
-def html_report(telemetry: Telemetry, title: str = "repro run report") -> str:
-    """Render the registry into one self-contained HTML document."""
+def _comparison_section(delta: Dict) -> List[str]:
+    """The "Run comparison" card body: per-phase blame shifts, latency
+    movement, decision-mix changes and SLO deltas of a run delta (see
+    :func:`repro.obs.analysis.diff_runs`)."""
+    a = delta.get("base_label", "baseline")
+    b = delta.get("other_label", "current")
+    parts = [
+        f'<p class="note">{_esc(a)} &rarr; {_esc(b)}. Positive deltas mean '
+        f"the current run spent more.</p>"
+    ]
+
+    def _pct(d: Dict) -> str:
+        ratio = d.get("ratio")
+        return f"{(ratio - 1) * 100:+.1f}%" if ratio else "n/a"
+
+    def _rows(items, prec: int = 4) -> List[str]:
+        out = []
+        for label, d in items:
+            base, other = d.get("base") or 0.0, d.get("other") or 0.0
+            worse = (d.get("delta") or 0.0) > 0
+            chip = "bad" if worse else "ok"
+            word = "more" if worse else "less/equal"
+            out.append(
+                f'<tr><td class="lbl">{_esc(label)}</td>'
+                f"<td>{base:.{prec}f}</td><td>{other:.{prec}f}</td>"
+                f"<td>{(d.get('delta') or 0.0):+.{prec}f}</td>"
+                f"<td>{_esc(_pct(d))}</td>"
+                f'<td class="lbl"><span class="chip {chip}"></span>{word}</td></tr>'
+            )
+        return out
+
+    header = (
+        "<table><thead><tr><th>metric</th>"
+        f"<th>{_esc(a)}</th><th>{_esc(b)}</th><th>&Delta;</th><th>&Delta;%</th>"
+        "<th>direction</th></tr></thead><tbody>"
+    )
+    parts.append("<h3>Per-phase blame (seconds)</h3>")
+    parts.append(header)
+    parts.extend(_rows(
+        [(cat, d) for cat, d in sorted(delta.get("phases", {}).items())
+         if d.get("base") or d.get("other")]
+    ))
+    parts.append("</tbody></table>")
+
+    latency = delta.get("latency") or {}
+    if latency:
+        parts.append("<h3>Request completion movement</h3>")
+        parts.append(header)
+        rows = []
+        for series in sorted(latency):
+            for q in ("p50", "p99"):
+                rows.append((f"{series} {q}", latency[series][q]))
+        parts.extend(_rows(rows))
+        parts.append("</tbody></table>")
+
+    mix = delta.get("decision_mix") or {}
+    if mix:
+        parts.append("<h3>Decision mix (placements per policy)</h3>")
+        parts.append(header)
+        parts.extend(_rows(sorted(mix.items()), prec=0))
+        parts.append("</tbody></table>")
+
+    slo = delta.get("slo") or {}
+    if slo:
+        parts.append("<h3>SLO deltas</h3>")
+        parts.append(header)
+        rows = []
+        for target, d in sorted(slo.items()):
+            rows.append((f"{target} violations", d["violations"]))
+        parts.extend(_rows(rows, prec=0))
+        parts.append("</tbody></table>")
+    return parts
+
+
+def html_report(
+    telemetry: Telemetry,
+    title: str = "repro run report",
+    comparison: Optional[Dict] = None,
+) -> str:
+    """Render the registry into one self-contained HTML document.
+
+    ``comparison`` is an optional run delta (from
+    :func:`repro.obs.analysis.diff_runs`, e.g. the harness's
+    ``--diff-against``) rendered as an extra "Run comparison" card.
+    """
     runs = sorted(
         {labels_run for labels_run in _series_by_run(telemetry, "gpu.util")}
         | {p.run_label or f"run{p.run_id}" for p in telemetry.decisions.placements}
@@ -404,6 +487,11 @@ def html_report(telemetry: Telemetry, title: str = "repro run report") -> str:
             "stream experiment.</p>"
         )
 
+    if comparison is not None:
+        parts.append('<div class="card"><h2>Run comparison</h2>')
+        parts.extend(_comparison_section(comparison))
+        parts.append("</div>")
+
     parts.append('<div class="card"><h2>Tenant attribution</h2>')
     parts.extend(_attribution_table(telemetry))
     parts.append("</div>")
@@ -420,10 +508,15 @@ def html_report(telemetry: Telemetry, title: str = "repro run report") -> str:
     return "\n".join(parts)
 
 
-def write_html_report(telemetry: Telemetry, path: str, title: str = "repro run report") -> None:
+def write_html_report(
+    telemetry: Telemetry,
+    path: str,
+    title: str = "repro run report",
+    comparison: Optional[Dict] = None,
+) -> None:
     """Write the HTML report to ``path``."""
     with open(path, "w") as fh:
-        fh.write(html_report(telemetry, title=title))
+        fh.write(html_report(telemetry, title=title, comparison=comparison))
 
 
 __all__ = ["html_report", "write_html_report"]

@@ -18,6 +18,8 @@ kernel      kernel execution — session-side (issue to completion) and
 copy        memcpy execution (H2D / D2H), session- and engine-side
 staging     MOT pinned-staging delay on the frontend
 default     ungated default-phase ops (malloc / free / synchronize)
+cpu         the application's host-side compute phases (the offload
+            loop's CPU work between GPU calls)
 ==========  ============================================================
 
 The module also provides the post-run queries that make per-phase
@@ -38,9 +40,13 @@ CAT_KERNEL = "kernel"
 CAT_COPY = "copy"
 CAT_STAGING = "staging"
 CAT_DEFAULT = "default"
+CAT_CPU = "cpu"
 
 #: Session-side categories that partition a request's managed-path time.
-REQUEST_PHASES = (CAT_BIND, CAT_QUEUE, CAT_GATE, CAT_KERNEL, CAT_COPY, CAT_STAGING, CAT_DEFAULT)
+REQUEST_PHASES = (
+    CAT_BIND, CAT_QUEUE, CAT_GATE, CAT_KERNEL, CAT_COPY, CAT_STAGING,
+    CAT_DEFAULT, CAT_CPU,
+)
 
 #: GpuPhase.value -> span category for session-side op spans.
 PHASE_CATEGORY = {
@@ -98,6 +104,7 @@ def mean_phase_latency(telemetry: Telemetry, cat: str) -> float:
 __all__ = [
     "CAT_BIND",
     "CAT_COPY",
+    "CAT_CPU",
     "CAT_DEFAULT",
     "CAT_GATE",
     "CAT_KERNEL",

@@ -74,6 +74,9 @@ class SharedComputeEngine:
         self._busy_since: Optional[float] = None
         #: Total kernels completed (diagnostics).
         self.completed = 0
+        #: (tag, occupancy) -> (span name, shared args dict); kernels from
+        #: one app repeat identical metadata, so build it once.
+        self._span_meta: Dict[tuple, tuple] = {}
 
     # -- public API ---------------------------------------------------------
 
@@ -106,11 +109,14 @@ class SharedComputeEngine:
             self.tracer.begin(("kernel", op.op_id), self.env.now, tag=op.tag)
         tel = self.env.telemetry
         if tel.enabled:
+            meta = self._span_meta.get((op.tag, op.occupancy))
+            if meta is None:
+                meta = self._span_meta[(op.tag, op.occupancy)] = (
+                    f"kernel:{op.tag}" if op.tag else "kernel",
+                    {"app": op.tag, "occupancy": op.occupancy},
+                )
             entry.span = tel.start_span(
-                f"kernel:{op.tag}" if op.tag else "kernel",
-                cat="kernel",
-                track=self.track,
-                args={"app": op.tag, "occupancy": op.occupancy},
+                meta[0], cat="kernel", track=self.track, args=meta[1]
             )
         self._recompute_rates()
         self._kick()
@@ -235,6 +241,9 @@ class CopyEngine:
         self.completed = 0
         #: Cumulative transfer volume through this engine, in bytes.
         self.bytes_moved = 0
+        #: (tag, nbytes) -> (span name, shared args dict); one app's
+        #: copies repeat the same few sizes, so build metadata once.
+        self._span_meta: Dict[tuple, tuple] = {}
 
     @property
     def queued(self) -> int:
@@ -271,11 +280,14 @@ class CopyEngine:
             tel = env.telemetry
             span = None
             if tel.enabled:
+                meta = self._span_meta.get((op.tag, op.nbytes))
+                if meta is None:
+                    meta = self._span_meta[(op.tag, op.nbytes)] = (
+                        f"{self.label}:{op.tag}" if op.tag else self.label,
+                        {"app": op.tag, "bytes": op.nbytes},
+                    )
                 span = tel.start_span(
-                    f"{self.label}:{op.tag}" if op.tag else self.label,
-                    cat="copy",
-                    track=self.track,
-                    args={"app": op.tag, "bytes": op.nbytes},
+                    meta[0], cat="copy", track=self.track, args=meta[1]
                 )
             yield env.timeout(duration)
             if self.tracer is not None:

@@ -82,3 +82,92 @@ def test_cli_runs_chaos_with_fault_spec(capsys):
     out = capsys.readouterr().out
     assert "[chaos] requests lost: 0" in out
     assert faults.current_plan() is None  # plan slot reset after the run
+
+
+# -- ISSUE 4: analysis & diff tools -----------------------------------------
+
+
+def test_cli_rejects_bad_top_k(capsys):
+    with pytest.raises(SystemExit):
+        main(["fig1", "--analyze", "--top-k", "0"])
+    assert "--top-k must be > 0" in capsys.readouterr().err
+
+
+def test_cli_rejects_bad_tolerance_spec(capsys):
+    with pytest.raises(SystemExit):
+        main(["fig1", "--tolerance", "kernel=fast"])
+    assert "--tolerance" in capsys.readouterr().err
+
+
+def test_cli_rejects_missing_diff_baseline(capsys, tmp_path):
+    with pytest.raises(SystemExit):
+        main(["fig1", "--diff-against", str(tmp_path / "nope.json")])
+    assert "--diff-against" in capsys.readouterr().err
+
+
+def test_cli_analyze_requires_run(capsys):
+    with pytest.raises(SystemExit):
+        main(["analyze"])
+    assert "--run" in capsys.readouterr().err
+
+
+def test_cli_diff_requires_both_runs(capsys, tmp_path):
+    with pytest.raises(SystemExit):
+        main(["diff", "--run", str(tmp_path / "a.json")])
+    assert "--baseline" in capsys.readouterr().err
+
+
+def test_cli_analyze_rejects_doc_without_analysis(capsys, tmp_path):
+    import json
+
+    stale = tmp_path / "stale.json"
+    stale.write_text(json.dumps({"counters": {}}))
+    with pytest.raises(SystemExit):
+        main(["analyze", "--run", str(stale)])
+    assert "no 'analysis' section" in capsys.readouterr().err
+
+
+def test_cli_run_analyze_diff_round_trip(capsys, tmp_path):
+    """fig1 --metrics-out, then offline analyze + self-diff + tolerance."""
+    import json
+
+    metrics = tmp_path / "run.json"
+    assert main(["fig1", "--metrics-out", str(metrics), "--analyze"]) == 0
+    out = capsys.readouterr().out
+    assert "critical-path blame" in out
+    assert "scheduler overhead (unattributed)" in out
+
+    assert main(["analyze", "--run", str(metrics), "--top-k", "3"]) == 0
+    assert "per-phase blame" in capsys.readouterr().out
+
+    diff_json = tmp_path / "delta.json"
+    assert main([
+        "diff", "--run", str(metrics), "--baseline", str(metrics),
+        "--diff-out", str(diff_json), "--tolerance", "default=0",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "run comparison" in out
+    assert "tolerance check passed" in out
+    delta = json.loads(diff_json.read_text())
+    assert delta["total_latency_s"]["delta"] == 0.0
+
+
+def test_cli_diff_against_flags_regression(capsys, tmp_path):
+    """--diff-against with an impossible tolerance exits 1 on real drift."""
+    import json
+
+    metrics = tmp_path / "base.json"
+    # fig2 (unlike the analytic fig1) drives real requests, so the
+    # exported analysis has a non-zero latency total to doctor.
+    assert main(["fig2", "--scale", "quick", "--metrics-out", str(metrics)]) == 0
+    capsys.readouterr()
+    doc = json.loads(metrics.read_text())
+    assert doc["analysis"]["total_s"] > 0
+    # Doctor the baseline so the fresh (identical) run looks 50% faster.
+    doc["analysis"]["total_s"] = doc["analysis"]["total_s"] * 2
+    metrics.write_text(json.dumps(doc))
+    assert main([
+        "fig2", "--scale", "quick",
+        "--diff-against", str(metrics), "--tolerance", "total_s=0.01",
+    ]) == 1
+    assert "tolerance check FAILED" in capsys.readouterr().out
