@@ -2,14 +2,17 @@
 
 Public surface:
 
-* :class:`~repro.core.systems.StringsSystem` / ``RainSystem`` /
-  ``CudaRuntimeSystem`` — the three runtime stacks under evaluation;
+* :class:`~repro.core.systems.StringsSystem` / ``Design2System`` /
+  ``RainSystem`` / ``CudaRuntimeSystem`` — the runtime stacks under
+  evaluation;
 * :mod:`repro.core.policies` — every scheduling policy of Section IV;
 * :class:`~repro.core.gpool.GPool` — gPool/gMap/DST aggregation;
 * :class:`~repro.core.affinity.GpuAffinityMapper` — the workload balancer;
 * :class:`~repro.core.gpu_scheduler.GpuScheduler` — the per-device layer;
 * :class:`~repro.core.packer.ContextPacker` — context packing (SC/AST/
   SST/MOT + PMT);
+* :class:`~repro.core.translation.TranslationStack` — the composable
+  call translators the packer's SC/AST/SST/MOT are built from;
 * :class:`~repro.core.config.SchedulerConfig` — tunables.
 """
 
@@ -21,8 +24,25 @@ from repro.core.gpool import DeviceStatus, DeviceStatusTable, GMap, GMapEntry, G
 from repro.core.gpu_scheduler import GpuScheduler
 from repro.core.packer import ContextPacker, PackedApp, PinnedMemoryTable
 from repro.core.rcb import GpuPhase, RcbEntry, RequestControlBlock
-from repro.core.sessions import DirectSession, RainSession, StringsSession
-from repro.core.systems import CudaRuntimeSystem, RainSystem, StringsSystem
+from repro.core.sessions import (
+    Design2Session,
+    DirectSession,
+    ManagedSession,
+    RainSession,
+    StringsSession,
+)
+from repro.core.systems import (
+    CudaRuntimeSystem,
+    Design2System,
+    RainSystem,
+    StringsSystem,
+)
+from repro.core.translation import (
+    TranslationStack,
+    native_stack,
+    packed_stack,
+    shared_thread_stack,
+)
 
 __all__ = [
     "AppProfile",
@@ -30,6 +50,8 @@ __all__ = [
     "ContextPacker",
     "CudaRuntimeSystem",
     "DEFAULT_CONFIG",
+    "Design2Session",
+    "Design2System",
     "DeviceStatus",
     "DeviceStatusTable",
     "DispatchGate",
@@ -40,6 +62,7 @@ __all__ = [
     "GpuAffinityMapper",
     "GpuPhase",
     "GpuScheduler",
+    "ManagedSession",
     "PackedApp",
     "PinnedMemoryTable",
     "RainSession",
@@ -50,4 +73,8 @@ __all__ = [
     "SchedulerFeedbackTable",
     "StringsSession",
     "StringsSystem",
+    "TranslationStack",
+    "native_stack",
+    "packed_stack",
+    "shared_thread_stack",
 ]

@@ -47,6 +47,15 @@ class SchedulerConfig:
         signal-handler installation).
     monitor_interval_s:
         Request Monitor RCB refresh period (used by the monitoring probe).
+    malloc_retry_s:
+        Device-memory admission: how often a blocked ``cudaMalloc``
+        retries.  The paper assumes request rates never exhaust device
+        memory; under heavy queueing our simulated tenants *can* collide,
+        so allocation waits for memory like the virtual-memory runtimes
+        the paper cites ([16], Gdev) would make it.
+    malloc_max_wait_s:
+        How long a blocked ``cudaMalloc`` waits before the allocation
+        error is surfaced to the application.
     """
 
     tfs_epoch_s: float = 0.040
@@ -59,6 +68,18 @@ class SchedulerConfig:
     dispatch_poll_s: float = 0.002
     registration_overhead_s: float = 25e-6
     monitor_interval_s: float = 0.050
+    malloc_retry_s: float = 0.025
+    malloc_max_wait_s: float = 1800.0
+
+    def __post_init__(self) -> None:
+        if self.malloc_retry_s <= 0:
+            raise ValueError(
+                f"malloc_retry_s must be > 0, got {self.malloc_retry_s}"
+            )
+        if self.malloc_max_wait_s < 0:
+            raise ValueError(
+                f"malloc_max_wait_s must be >= 0, got {self.malloc_max_wait_s}"
+            )
 
 
 DEFAULT_CONFIG = SchedulerConfig()

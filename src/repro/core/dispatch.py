@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
-from repro.obs.instruments import Counter
+from repro.telemetry.instruments import Counter
 from repro.sim import Environment, Event
 from repro.core.rcb import GpuPhase, RcbEntry
 

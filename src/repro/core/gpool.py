@@ -195,8 +195,10 @@ class GPool:
         self._node_of: Dict[int, Node] = {}
 
         specs = [d.spec for n in nodes for d in n.devices]
-        if reference_spec is None:
-            # Weight relative to the most capable card in the pool.
+        if reference_spec is None and specs:
+            # Weight relative to the most capable card in the pool.  A
+            # zero-GPU pool (CPU-only nodes) has nothing to weight; it is
+            # legal and simply schedules nothing.
             reference_spec = max(specs, key=lambda s: s.peak_gflops * s.mem_bandwidth_gbps)
 
         gid = 0

@@ -1,63 +1,94 @@
-"""Concrete GPU sessions: bare CUDA runtime, Rain, and Strings.
+"""Concrete GPU sessions over the layered request pipeline.
 
-A session is the application's view of the installed runtime stack.  The
-three implementations differ exactly where the paper's systems differ:
+A session is the application's view of the installed runtime stack.
+Every intercepted CUDA call flows through the same four layers
+(DESIGN.md §12), and the concrete sessions differ only in how each layer
+is parameterized:
 
-===============  ==================  ==================  ===================
-                 DirectSession        RainSession          StringsSession
-                 (CUDA runtime)       (Design I)           (Design III)
----------------  ------------------  ------------------  -------------------
-device choice    app's programmed    workload balancer    workload balancer
-backend          own process          own backend proc     thread in per-GPU
-                                      (own GPU context)    proc (shared ctx)
-streams          default stream       default stream       own stream (SC/AST)
-memcpy           sync, pageable       sync, pageable       async, pinned (MOT)
-device sync      whole context        whole context        own stream (SST)
-device policy    none                 optional gate        optional gate
-feedback         none                 Request Monitor →    Request Monitor →
-                                      SFT                  SFT
-===============  ==================  ==================  ===================
+* **frontend interposer** (:mod:`repro.remoting.interposer`) — call
+  capture + marshalling/wire/staging costs;
+* **transport** (:mod:`repro.remoting.transport`) — the shared-memory or
+  GigE channel to the backend, resolved at bind time;
+* **backend issue loop** (:mod:`repro.remoting.worker`) — the FIFO loop
+  modelling the backend thread that issues calls to the device: private
+  per session (Designs I/III) or shared per device (Design II);
+* **translation stack** (:mod:`repro.core.translation`) — pluggable
+  copy/launch/sync strategies (native vs the SC/AST/SST/MOT packing
+  translations).
 
-Backend issue loops: every managed session owns a FIFO issue loop that
-models its backend worker thread.  GPU ops pass the dispatch gate (when a
-device policy is installed) before being issued; issue is *pipelined* for
-asynchronous ops (the backend thread does not wait for an async op to
-finish before issuing the next, exactly like a real CUDA host thread) and
-blocking for synchronous ones.
+===============  ============  ============  ============  ============
+                 DirectSession  RainSession   Design2Session StringsSession
+                 (CUDA runtime) (Design I)    (Design II)    (Design III)
+---------------  ------------  ------------  ------------  ------------
+device choice    programmed    balancer      balancer      balancer
+backend          own process   own backend   per-device    thread in
+                               process       master thread per-GPU proc
+issue loop       none          per session   per device    per session
+                                             (shared FIFO)
+streams          default       default       own (SC/AST)  own (SC/AST)
+memcpy           sync pageable sync pageable async pinned  async pinned
+device sync      whole context whole context own stream,   own stream
+                                             on the shared (SST)
+                                             thread (HoL)
+device policy    none          optional gate optional gate optional gate
+===============  ============  ============  ============  ============
+
+Cross-cutting concerns attach at exactly one place per layer: telemetry
+spans for staging at the interposer, queue-wait/gate-park/op spans in the
+issue loop, and the fault-recovery hooks (:meth:`ManagedSession.abort` /
+:meth:`ManagedSession.dispose`) on the session base, which cancels only
+its own items on a shared loop.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.obs.spans import CAT_GATE, CAT_QUEUE, PHASE_CATEGORY
-from repro.sim import Environment, Event, Store
+from repro.telemetry.categories import CAT_GATE, CAT_QUEUE, PHASE_CATEGORY
+from repro.sim import Environment, Event
 from repro.simgpu import CopyKind, CopyOp, KernelOp
 from repro.cuda.errors import CudaError, CudaErrorCode
 from repro.cluster.network import Network
 from repro.cluster.node import Node
 from repro.cuda import CudaThread, HostProcess
+from repro.remoting.interposer import FrontendInterposer
 from repro.remoting.rpc import RpcCostModel
 from repro.remoting.session import GpuSession
+from repro.remoting.transport import Transport
+from repro.remoting.worker import BackendIssueLoop, IssueItem
 from repro.core.affinity import Binding, GpuAffinityMapper
+from repro.core.config import DEFAULT_CONFIG, SchedulerConfig
 from repro.core.gpu_scheduler import GpuScheduler
 from repro.core.packer import ContextPacker, PackedApp
 from repro.core.rcb import GpuPhase, RcbEntry
+from repro.core.translation import (
+    TranslationStack,
+    native_stack,
+    packed_stack,
+    shared_thread_stack,
+)
 
 
-#: Device-memory admission: how often a blocked cudaMalloc retries, and
-#: for how long before the error is surfaced.  The paper assumes request
-#: rates never exhaust device memory; under heavy queueing our simulated
-#: tenants *can* collide, so allocation waits for memory like the virtual-
-#: memory runtimes the paper cites ([16], Gdev) would make it.
-_MALLOC_RETRY_S = 0.025
-_MALLOC_MAX_WAIT_S = 1800.0
+#: Module-level defaults mirroring :class:`SchedulerConfig` — kept so the
+#: bare-runtime path (no scheduler, no config) and direct callers of
+#: :func:`malloc_with_backpressure` keep working unchanged.
+_MALLOC_RETRY_S = DEFAULT_CONFIG.malloc_retry_s
+_MALLOC_MAX_WAIT_S = DEFAULT_CONFIG.malloc_max_wait_s
 
 
-def malloc_with_backpressure(env: Environment, thread, nbytes: int):
+def malloc_with_backpressure(
+    env: Environment,
+    thread,
+    nbytes: int,
+    retry_s: float = _MALLOC_RETRY_S,
+    max_wait_s: float = _MALLOC_MAX_WAIT_S,
+):
     """cudaMalloc that waits out transient device-memory exhaustion.
 
     A generator (run as a process); its value is the device pointer.
+    ``retry_s`` / ``max_wait_s`` come from
+    :attr:`SchedulerConfig.malloc_retry_s` /
+    :attr:`SchedulerConfig.malloc_max_wait_s` on the managed path.
     """
     waited = 0.0
     while True:
@@ -66,10 +97,10 @@ def malloc_with_backpressure(env: Environment, thread, nbytes: int):
         except CudaError as exc:
             if exc.code is not CudaErrorCode.MEMORY_ALLOCATION:
                 raise
-            if waited >= _MALLOC_MAX_WAIT_S:
+            if waited >= max_wait_s:
                 raise
-        yield env.timeout(_MALLOC_RETRY_S)
-        waited += _MALLOC_RETRY_S
+        yield env.timeout(retry_s)
+        waited += retry_s
 
 
 class DirectSession(GpuSession):
@@ -77,6 +108,8 @@ class DirectSession(GpuSession):
 
     The application keeps its programmed device, runs in its own host
     process (own GPU context), and every call has native CUDA semantics.
+    No pipeline layers are involved: there is no interposer, transport or
+    backend issue loop — calls go straight to the thread.
     """
 
     def __init__(self, env: Environment, app_name: str, node: Node, tenant_id: str = "t0") -> None:
@@ -190,26 +223,15 @@ class DirectSession(GpuSession):
         return self._thread
 
 
-class _IssueItem:
-    """One queued backend operation."""
-
-    __slots__ = ("phase", "make", "blocking", "done", "gated", "posted_at")
-
-    def __init__(self, phase, make, blocking, done, gated=True, posted_at=0.0):
-        self.phase = phase
-        self.make = make  # callable -> device completion Event (or None)
-        self.blocking = blocking
-        self.done = done  # Event fired with the op's result
-        self.gated = gated
-        self.posted_at = posted_at  # sim time the session enqueued the op
-
-
 class ManagedSession(GpuSession):
-    """Shared machinery of Rain and Strings sessions.
+    """Shared machinery of every scheduled session (Designs I/II/III).
 
-    Handles the interposer RPC costs, the affinity-mapper binding, the
-    device-scheduler registration, the backend issue loop and the Request
-    Monitor accounting.  Subclasses set the semantics knobs.
+    Owns the pipeline: a :class:`FrontendInterposer` over a
+    :class:`Transport` for the frontend costs, a backend issue loop for
+    call issue, a :class:`TranslationStack` for call semantics, plus the
+    affinity-mapper binding, the device-scheduler registration and the
+    Request Monitor accounting.  Subclasses pick the translation stack
+    and the loop topology.
     """
 
     #: Whether memcpys are translated to pinned-staged async copies (MOT).
@@ -226,6 +248,8 @@ class ManagedSession(GpuSession):
         tenant_id: str = "t0",
         tenant_weight: float = 1.0,
         binder: Optional[Callable[["ManagedSession", int], CudaThread]] = None,
+        config: SchedulerConfig = DEFAULT_CONFIG,
+        translation: Optional[TranslationStack] = None,
     ) -> None:
         super().__init__(env, app_name, tenant_id)
         self.frontend_node = frontend_node
@@ -233,17 +257,26 @@ class ManagedSession(GpuSession):
         self.network = network
         self.rpc = rpc
         self.tenant_weight = tenant_weight
+        self.config = config
         #: Provided by the owning system: creates the backend worker for a
-        #: GID and installs ``session.scheduler`` (and packer, for Strings).
+        #: GID and installs ``session.scheduler`` (and packer, for packed
+        #: designs).
         self.binder = binder
+
+        #: Layer 2: the channel to the backend (local until bind resolves).
+        self.transport = Transport(network, rpc, local=True)
+        #: Layer 1: call capture + frontend-side costs.
+        self.interposer = FrontendInterposer(self, self.transport)
+        #: Layer 4: the call-semantics strategies.
+        self.translation = translation if translation is not None else self._default_translation()
 
         self.binding: Optional[Binding] = None
         self.scheduler: Optional[GpuScheduler] = None
         self.entry: Optional[RcbEntry] = None
         self.worker: Optional[CudaThread] = None
-        self._local: bool = True
-        self._queue: Store = Store(env)
-        self._loop = env.process(self._issue_loop(), name=f"issue:{app_name}")
+        #: Layer 3: the backend issue loop (None until attached, for
+        #: shared-loop designs).
+        self._loop: Optional[BackendIssueLoop] = self._make_issue_loop()
         #: Completion event of the most recently *posted* GPU op (ordering
         #: anchor for synchronize under async translation).
         self._last_gpu_op: Optional[Event] = None
@@ -265,8 +298,22 @@ class ManagedSession(GpuSession):
         self._obs_gate_hist: Optional[tuple] = None
         #: (telemetry, gid, TenantUsage) for the current binding.
         self._obs_row: Optional[tuple] = None
-        #: nbytes -> (staging span name, shared args dict).
-        self._obs_staging: dict = {}
+
+    # -- pipeline topology hooks --------------------------------------------
+
+    def _default_translation(self) -> TranslationStack:
+        return native_stack()
+
+    def _make_issue_loop(self) -> Optional[BackendIssueLoop]:
+        """The session's backend issue loop.  Designs I/III own a private
+        loop; shared-loop designs return None here and attach the device's
+        loop at bind time."""
+        return BackendIssueLoop(self.env, name=f"issue:{self.app_name}")
+
+    @property
+    def _local(self) -> bool:
+        """Whether the bound GPU shares the frontend's node."""
+        return self.transport.local
 
     # -- plumbing provided by the owning system -----------------------------
 
@@ -280,84 +327,10 @@ class ManagedSession(GpuSession):
     # -- RPC helpers -----------------------------------------------------------
 
     def _req(self, payload: int = 128) -> float:
-        return self.rpc.request_delay(self.network, self._local, payload)
+        return self.transport.request_s(payload)
 
     def _rsp(self) -> float:
-        return self.rpc.response_delay(self.network, self._local)
-
-    # -- issue loop ----------------------------------------------------------------
-
-    def _issue_loop(self):
-        env = self.env
-        while True:
-            item: _IssueItem = yield self._queue.get()
-            tel = env.telemetry
-            if tel.enabled and env.now > item.posted_at:
-                self._obs_queue_wait(tel, item)
-            if item.gated and self.scheduler is not None and self.entry is not None:
-                parked_at = env.now
-                yield self.scheduler.permission(self.entry, item.phase)
-                self.entry.issue()
-                if tel.enabled and env.now > parked_at:
-                    self._obs_gate_park(tel, item, parked_at)
-            op_span = None
-            if tel.enabled:
-                meta = self._obs_phase.get(item.phase)
-                if meta is None:
-                    meta = self._obs_phase[item.phase] = (
-                        f"{item.phase.value}:{self.app_name}",
-                        PHASE_CATEGORY.get(item.phase.value, "default"),
-                        {"app": self.app_name, "phase": item.phase.value},
-                    )
-                op_span = tel.start_span(
-                    meta[0],
-                    cat=meta[1],
-                    track=self._obs_track,
-                    parent=self.root_span,
-                    args=meta[2],
-                )
-            try:
-                completion = item.make()
-            except Exception as exc:  # noqa: BLE001 - dead worker / backend
-                # The op hit a torn-down worker (injected fault) before it
-                # ever reached the device.  Marshal the error to the
-                # caller; pre-defuse in case the op was fire-and-forget.
-                if op_span is not None:
-                    op_span.finish(env.now)
-                if item.gated:
-                    self._complete_accounting(None)
-                item.done.defused = True
-                if not item.done.triggered:
-                    item.done.fail(exc)
-                continue
-            if completion is None:
-                if op_span is not None:
-                    op_span.finish(env.now)
-                item.done.succeed(None)
-                continue
-            if item.blocking:
-                try:
-                    result = yield completion
-                except Exception as exc:  # noqa: BLE001 - marshalled upward
-                    if op_span is not None:
-                        op_span.finish(env.now)
-                    if item.gated:
-                        self._complete_accounting(None)
-                    # Pre-defuse: an aborted session's driver may already
-                    # be gone, leaving this failure without a waiter.
-                    item.done.defused = True
-                    if not item.done.triggered:
-                        item.done.fail(exc)
-                    continue
-                if op_span is not None:
-                    op_span.finish(env.now)
-                if item.gated:
-                    self._complete_accounting(result)
-                item.done.succeed(result)
-            else:
-                self._hook_completion(
-                    completion, item.done, account=item.gated, span=op_span
-                )
+        return self.transport.response_s()
 
     # -- observability hooks (only reached when telemetry is enabled) --------
 
@@ -374,7 +347,7 @@ class ManagedSession(GpuSession):
             row = self._obs_row = (tel, gid, tel.attribution.usage(self.tenant_id, gid))
         return row[2]
 
-    def _obs_queue_wait(self, tel, item: _IssueItem) -> None:
+    def _obs_queue_wait(self, tel, item: IssueItem) -> None:
         """Record the op's wait in the backend issue queue.
 
         Ops issued immediately (the common, unloaded case) record
@@ -400,7 +373,7 @@ class ManagedSession(GpuSession):
             start=item.posted_at,
         ).finish(self.env.now)
 
-    def _obs_gate_park(self, tel, item: _IssueItem, parked_at: float) -> None:
+    def _obs_gate_park(self, tel, item: IssueItem, parked_at: float) -> None:
         """Record time parked at the dispatch gate waiting for a wake.
 
         Like :meth:`_obs_queue_wait`, instant grants record nothing.
@@ -423,6 +396,23 @@ class ManagedSession(GpuSession):
             args={"app": self.app_name, "phase": item.phase.value},
             start=parked_at,
         ).finish(self.env.now)
+
+    def _obs_op_span(self, tel, item: IssueItem):
+        """Open the session-side op span for an item being issued."""
+        meta = self._obs_phase.get(item.phase)
+        if meta is None:
+            meta = self._obs_phase[item.phase] = (
+                f"{item.phase.value}:{self.app_name}",
+                PHASE_CATEGORY.get(item.phase.value, "default"),
+                {"app": self.app_name, "phase": item.phase.value},
+            )
+        return tel.start_span(
+            meta[0],
+            cat=meta[1],
+            track=self._obs_track,
+            parent=self.root_span,
+            args=meta[2],
+        )
 
     def _hook_completion(
         self, completion: Event, done: Event, account: bool = True, span=None
@@ -475,9 +465,14 @@ class ManagedSession(GpuSession):
             # cause at the next intercepted call, like a real frontend
             # whose backend connection dropped.
             raise self._aborted
+        if self._loop is None:
+            raise RuntimeError(
+                f"session {self.app_name!r} has no backend issue loop "
+                "(shared-loop sessions get one at bind time)"
+            )
         done = self.env.event()
-        self._queue.put(
-            _IssueItem(phase, make, blocking, done, gated, posted_at=self.env.now)
+        self._loop.post(
+            IssueItem(self, phase, make, blocking, done, gated, posted_at=self.env.now)
         )
         if phase is not GpuPhase.DFL:
             self._last_gpu_op = done
@@ -489,17 +484,16 @@ class ManagedSession(GpuSession):
         return self.env.process(self._bind(), name=f"bind:{self.app_name}")
 
     def _bind(self):
-        env = self.env
         # cudaSetDevice intercepted -> forwarded to the affinity mapper.
-        yield env.timeout(self.rpc.request_delay(self.network, True))
+        yield self.interposer.request()
         self._check_aborted()
         self.binding = self.mapper.bind(self.app_name, self.frontend_node.hostname)
         gid = self.binding.gid
-        self._local = self.mapper.pool.is_local(gid, self.frontend_node.hostname)
+        self.transport.local = self.mapper.pool.is_local(gid, self.frontend_node.hostname)
         if self.faults is not None:
             self.faults.track(self)
         # Forward the binding to the backend on the target node.
-        yield env.timeout(self._req())
+        yield self.interposer.request()
         # Checked *before* creating the worker: binding to a crashed
         # backend must not silently respawn its device process.
         self._check_aborted()
@@ -509,7 +503,7 @@ class ManagedSession(GpuSession):
         )
         self.entry = reg
         self._check_aborted()
-        yield env.timeout(self._rsp())
+        yield self.interposer.response()
         self._check_aborted()
         return gid
 
@@ -517,14 +511,13 @@ class ManagedSession(GpuSession):
         return self.env.process(self._finish(), name=f"finish:{self.app_name}")
 
     def _finish(self):
-        env = self.env
         if self._finished:
             return None
         self._finished = True
         # Drain: wait for the last posted GPU op before tearing down.
         if self._last_gpu_op is not None and not self._last_gpu_op.processed:
             yield self._last_gpu_op
-        yield env.timeout(self._req())
+        yield self.interposer.request()
         profile = None
         if self.scheduler is not None and self.entry is not None:
             profile = self.scheduler.unregister(self.entry)
@@ -535,7 +528,7 @@ class ManagedSession(GpuSession):
         if self.faults is not None:
             self.faults.untrack(self)
         # Feedback rides the thread-exit response: no extra message cost.
-        yield env.timeout(self._rsp())
+        yield self.interposer.response()
         return profile
 
     def _teardown_worker(self) -> None:
@@ -569,7 +562,8 @@ class ManagedSession(GpuSession):
         """Kill the session with ``exc`` (called by the recovery manager).
 
         Pending queued ops fail immediately (pre-defused: their drivers may
-        never look); in-flight device ops are allowed to complete in sim
+        never look); on a shared Design II loop only *this* session's items
+        are cancelled.  In-flight device ops are allowed to complete in sim
         time (see DESIGN.md §Fault Model for the calibration caveat), and
         the driver's *next* call raises via :meth:`_post`.
         """
@@ -577,12 +571,8 @@ class ManagedSession(GpuSession):
             return
         self._aborted = exc
         self._finished = True
-        pending = list(self._queue.items)
-        self._queue.items.clear()
-        for item in pending:
-            item.done.defused = True
-            if not item.done.triggered:
-                item.done.fail(exc)
+        if self._loop is not None:
+            self._loop.cancel_owner(self, exc)
         self._abort_cleanup()
 
     def dispose(self) -> None:
@@ -595,7 +585,7 @@ class ManagedSession(GpuSession):
 
     def malloc(self, nbytes: int) -> Event:
         def _run():
-            yield self.env.timeout(self._req() + self._rsp())
+            yield self.interposer.roundtrip()
             done = self._post(
                 GpuPhase.DFL, lambda: self._malloc_now(nbytes), blocking=True, gated=False
             )
@@ -606,12 +596,18 @@ class ManagedSession(GpuSession):
 
     def _malloc_now(self, nbytes: int) -> Event:
         return self.env.process(
-            malloc_with_backpressure(self.env, self.worker, nbytes)
+            malloc_with_backpressure(
+                self.env,
+                self.worker,
+                nbytes,
+                self.config.malloc_retry_s,
+                self.config.malloc_max_wait_s,
+            )
         )
 
     def free(self, ptr: int) -> Event:
         def _run():
-            yield self.env.timeout(self._req() + self._rsp())
+            yield self.interposer.roundtrip()
             yield self._post(
                 GpuPhase.DFL, lambda: self._free_now(ptr), blocking=True, gated=False
             )
@@ -624,6 +620,19 @@ class ManagedSession(GpuSession):
         ev.succeed(None)
         return ev
 
+    # -- work: delegated to the translation stack ---------------------------
+
+    def memcpy(self, nbytes: int, kind: CopyKind) -> Event:
+        return self.env.process(self.translation.copy.run(self, nbytes, kind))
+
+    def launch(self, flops: float, bytes_accessed: float, occupancy: float = 1.0, tag: str = "") -> Event:
+        return self.env.process(
+            self.translation.launch.run(self, flops, bytes_accessed, occupancy, tag)
+        )
+
+    def synchronize(self) -> Event:
+        return self.env.process(self.translation.sync.run(self))
+
 
 class RainSession(ManagedSession):
     """Design I: dedicated backend process, native call semantics.
@@ -632,56 +641,9 @@ class RainSession(ManagedSession):
     requests of co-located applications serialize with context switches,
     synchronous memcpys hold the app (and its backend process) for the
     full transfer, and the whole-context ``cudaDeviceSynchronize`` is
-    forwarded as-is.
+    forwarded as-is.  Equivalent to :class:`ManagedSession` with the
+    :func:`~repro.core.translation.native_stack` and a private loop.
     """
-
-    def memcpy(self, nbytes: int, kind: CopyKind) -> Event:
-        def _run():
-            env = self.env
-            yield env.timeout(self._req())
-            if kind is CopyKind.H2D:
-                # Application buffer travels frontend -> backend first.
-                yield env.timeout(self.rpc.bulk_data_delay(self.network, self._local, nbytes))
-            phase = GpuPhase.H2D if kind is CopyKind.H2D else GpuPhase.D2H
-            done = self._post(
-                phase,
-                lambda: self.worker.memcpy(nbytes, kind, tag=self.app_name),
-                blocking=True,
-            )
-            yield done
-            if kind is CopyKind.D2H:
-                yield env.timeout(self.rpc.bulk_data_delay(self.network, self._local, nbytes))
-            yield env.timeout(self._rsp())
-
-        return self.env.process(_run())
-
-    def launch(self, flops: float, bytes_accessed: float, occupancy: float = 1.0, tag: str = "") -> Event:
-        def _run():
-            # Launch has no output params: non-blocking RPC, frontend
-            # continues after marshalling.
-            yield self.env.timeout(self.rpc.marshal_s)
-            self._post(
-                GpuPhase.KL,
-                lambda: self.worker.launch_kernel(
-                    flops, bytes_accessed, occupancy, tag=tag or self.app_name
-                ),
-                blocking=False,
-            )
-
-        return self.env.process(_run())
-
-    def synchronize(self) -> Event:
-        def _run():
-            env = self.env
-            yield env.timeout(self._req())
-            done = self._post(
-                GpuPhase.DFL, lambda: self.worker.device_synchronize(), blocking=True,
-                gated=False,
-            )
-            yield done
-            yield env.timeout(self._rsp())
-
-        return self.env.process(_run())
 
 
 class StringsSession(ManagedSession):
@@ -703,14 +665,19 @@ class StringsSession(ManagedSession):
         sst_enabled: bool = True,
         **kwargs,
     ) -> None:
-        super().__init__(*args, **kwargs)
-        self._packer = packer
-        self.packed: Optional[PackedApp] = None
         #: Ablation switches: disable the Memory Operation Translator
         #: (sync pageable memcpys, like Rain) or the Sync Stream Translator
-        #: (device-wide synchronization inside the packed context).
+        #: (device-wide synchronization inside the packed context).  Set
+        #: before ``super().__init__`` so :meth:`_default_translation` can
+        #: compose the stack from them.
         self.mot_enabled = mot_enabled
         self.sst_enabled = sst_enabled
+        self._packer = packer
+        self.packed: Optional[PackedApp] = None
+        super().__init__(*args, **kwargs)
+
+    def _default_translation(self) -> TranslationStack:
+        return packed_stack(mot_enabled=self.mot_enabled, sst_enabled=self.sst_enabled)
 
     def _set_packer(self, packer: ContextPacker) -> None:
         self._packer = packer
@@ -725,116 +692,44 @@ class StringsSession(ManagedSession):
             self._packer.unpack(self.packed)
         super()._teardown_worker()
 
-    def memcpy(self, nbytes: int, kind: CopyKind) -> Event:
-        if not self.mot_enabled:
-            return self.env.process(self._memcpy_sync(nbytes, kind))
-        if kind is CopyKind.H2D:
-            return self.env.process(self._memcpy_h2d(nbytes))
-        return self.env.process(self._memcpy_d2h(nbytes))
 
-    def _memcpy_sync(self, nbytes: int, kind: CopyKind):
-        """MOT disabled (ablation): native blocking pageable memcpy on the
-        app's stream."""
-        env = self.env
-        yield env.timeout(self._req())
-        if kind is CopyKind.H2D:
-            yield env.timeout(self.rpc.bulk_data_delay(self.network, self._local, nbytes))
-        phase = GpuPhase.H2D if kind is CopyKind.H2D else GpuPhase.D2H
-        done = self._post(
-            phase,
-            lambda: self.worker.memcpy_async(
-                nbytes, kind, stream=self.packed.target_stream(None),
-                pinned=False, tag=self.app_name,
-            ),
-            blocking=True,
-        )
-        yield done
-        if kind is CopyKind.D2H:
-            yield env.timeout(self.rpc.bulk_data_delay(self.network, self._local, nbytes))
-        yield env.timeout(self._rsp())
+class Design2Session(StringsSession):
+    """Design II: packed context, but ONE shared issue thread per device.
 
-    def _memcpy_h2d(self, nbytes: int):
-        env = self.env
-        # Frontend: marshal + ship data + MOT stages into pinned memory,
-        # then the app *continues* (sync -> async translation).
-        yield env.timeout(self._req())
-        yield env.timeout(self.rpc.bulk_data_delay(self.network, self._local, nbytes))
-        staged_at = env.now
-        yield env.timeout(self.rpc.staging_delay(nbytes))
-        tel = env.telemetry
-        if tel.enabled and env.now > staged_at:
-            meta = self._obs_staging.get(nbytes)
-            if meta is None:
-                meta = self._obs_staging[nbytes] = (
-                    f"staging:{self.app_name}",
-                    {"app": self.app_name, "bytes": nbytes},
-                )
-            tel.start_span(
-                meta[0],
-                cat="staging",
-                track=self._obs_track,
-                parent=self.root_span,
-                args=meta[1],
-                start=staged_at,
-            ).finish(env.now)
-        self._post(
-            GpuPhase.H2D,
-            lambda: self.packed.memcpy_async_staged(nbytes, CopyKind.H2D, tag=self.app_name),
-            blocking=False,
-        )
+    The paper's middle design (Fig. 5): every resident tenant's calls
+    funnel through the device master's single
+    :class:`~repro.remoting.worker.BackendIssueLoop`, so a blocking call
+    (a sync memcpy leg, a stream sync) from one application stalls every
+    other tenant's queued calls — head-of-line blocking.  Translations
+    are the packed-context ones (per-app streams via SC/AST, MOT
+    staging), but the sync strategy deliberately *occupies the master*
+    (:class:`~repro.core.translation.QueuedStreamSync`) instead of
+    waiting frontend-side like Design III.
+    """
 
-    def _memcpy_d2h(self, nbytes: int):
-        env = self.env
-        # D2H has output params: the call must return the data, so it
-        # blocks through device completion and the wire back.
-        yield env.timeout(self._req())
-        done = self._post(
-            GpuPhase.D2H,
-            lambda: self.packed.memcpy_async_staged(nbytes, CopyKind.D2H, tag=self.app_name),
-            blocking=True,
-        )
-        yield done
-        yield env.timeout(self.rpc.bulk_data_delay(self.network, self._local, nbytes))
-        yield env.timeout(self._rsp())
+    def _default_translation(self) -> TranslationStack:
+        return shared_thread_stack(mot_enabled=self.mot_enabled)
 
-    def launch(self, flops: float, bytes_accessed: float, occupancy: float = 1.0, tag: str = "") -> Event:
-        def _run():
-            yield self.env.timeout(self.rpc.marshal_s)
-            self._post(
-                GpuPhase.KL,
-                lambda: self.worker.launch_kernel(
-                    flops,
-                    bytes_accessed,
-                    occupancy,
-                    stream=self.packed.target_stream(None),
-                    tag=tag or self.app_name,
-                ),
-                blocking=False,
-            )
+    def _make_issue_loop(self) -> Optional[BackendIssueLoop]:
+        # The device master's shared loop is attached at bind time.
+        return None
 
-        return self.env.process(_run())
+    def _attach_shared_loop(self, loop: BackendIssueLoop) -> None:
+        self._loop = loop
 
-    def synchronize(self) -> Event:
-        def _run():
-            env = self.env
-            yield env.timeout(self._req())
-            # SST: wait only for this app's own stream.  Any of our ops
-            # still parked at the dispatch gate are covered by waiting on
-            # the last posted op's completion.
-            last = self._last_gpu_op
-            if last is not None and not last.processed:
-                yield last
-            if self.sst_enabled:
-                pending = self.packed.synchronize()
-            else:
-                # SST disabled (ablation): the raw cudaDeviceSynchronize
-                # waits on *every* stream of the packed context — including
-                # the other tenants' outstanding work.
-                pending = self.worker.device_synchronize()
-            yield pending
-            yield env.timeout(self._rsp())
-
-        return self.env.process(_run())
+    def _teardown_worker(self) -> None:
+        # The master thread is shared with every co-resident tenant: only
+        # unpack this app's stream, never exit the thread.
+        if self.packed is not None:
+            self._packer.unpack(self.packed)
+            self.packed = None
 
 
-__all__ = ["DirectSession", "ManagedSession", "RainSession", "StringsSession"]
+__all__ = [
+    "Design2Session",
+    "DirectSession",
+    "ManagedSession",
+    "RainSession",
+    "StringsSession",
+    "malloc_with_backpressure",
+]

@@ -1,4 +1,4 @@
-"""The three runtime systems under evaluation.
+"""The runtime systems under evaluation.
 
 * :class:`CudaRuntimeSystem` — the paper's baseline: static provisioning
   through the bare CUDA runtime (applications keep their programmed
@@ -6,17 +6,24 @@
 * :class:`RainSystem` — the authors' earlier scheduler: gPool-wide
   workload balancing over Design I backends (process per application);
   optional device-level policies (TFS-Rain, LAS-Rain) and feedback.
+* :class:`Design2System` — the paper's middle design (Fig. 5): workload
+  balancing over packed contexts, but ONE shared master issue thread per
+  device, so blocking calls head-of-line block co-resident tenants.
 * :class:`StringsSystem` — the paper's contribution: workload balancing +
   Design III backends + context packing + device-level scheduling +
   device feedback to the balancer.
 
 A system is constructed once per experiment over a set of nodes and hands
-out one :class:`GpuSession` per application request.
+out one :class:`GpuSession` per application request.  The scheduled
+systems share one session factory: :meth:`_ScheduledSystem.session`
+builds the session from the class's ``SESSION_CLS`` and the subclass's
+:meth:`_bind_worker` hook, which maps a bound GID onto the design's
+backend worker (per-app process / shared master / per-app thread).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 from repro.sim import Environment
 from repro.cluster.network import Network
@@ -32,7 +39,13 @@ from repro.core.packer import ContextPacker
 from repro.core.policies.balancing import BalancingPolicy, GRR
 from repro.core.policies.device import AlwaysAwake, DevicePolicy
 from repro.core.policies.feedback import FeedbackPolicy
-from repro.core.sessions import DirectSession, RainSession, StringsSession
+from repro.core.sessions import (
+    Design2Session,
+    DirectSession,
+    ManagedSession,
+    RainSession,
+    StringsSession,
+)
 
 #: Factory for per-device policy instances (each device gets its own loop).
 DevicePolicyFactory = Callable[[], DevicePolicy]
@@ -64,9 +77,12 @@ class CudaRuntimeSystem:
 
 
 class _ScheduledSystem:
-    """Shared base of Rain and Strings: pool + mapper + device schedulers."""
+    """Shared base of the scheduled systems: pool + mapper + device
+    schedulers, and the one session factory they all use."""
 
     name = "?"
+    #: The session class :meth:`session` instantiates.
+    SESSION_CLS: type = ManagedSession
 
     def __init__(
         self,
@@ -122,16 +138,30 @@ class _ScheduledSystem:
         return self.daemons[entry.hostname]
 
     def label(self) -> str:
-        """Experiment label, e.g. ``GWtMin+LAS-Strings``."""
-        dev = next(iter(self.schedulers.values())).policy.name
+        """Experiment label, e.g. ``GWtMin+LAS-Strings``.
+
+        Robust to an empty scheduler map (a zero-GPU pool): the label is
+        then just ``<policy>-<name>``, without a device-policy suffix.
+        """
+        first = next(iter(self.schedulers.values()), None)
+        dev = first.policy.name if first is not None else "none"
         suffix = "" if dev == "none" else f"+{dev}"
         return f"{self.mapper.policy.name}{suffix}-{self.name}"
 
+    # -- the shared session factory -----------------------------------------
 
-class RainSystem(_ScheduledSystem):
-    """The authors' earlier Design I scheduler (no context packing)."""
+    def _session_kwargs(self) -> dict:
+        """Extra keyword arguments for ``SESSION_CLS``."""
+        return {}
 
-    name = "Rain"
+    def _bind_worker(self, sess: ManagedSession, gid: int, entry, daemon: BackendDaemon):
+        """Map a bound GID onto the design's backend worker.
+
+        Called from inside the session's bind, after the scheduler is
+        installed; returns the :class:`~repro.cuda.CudaThread` the
+        session issues on.
+        """
+        raise NotImplementedError
 
     def session(
         self,
@@ -139,16 +169,16 @@ class RainSystem(_ScheduledSystem):
         frontend_node: Node,
         tenant_id: str = "t0",
         tenant_weight: float = 1.0,
-    ) -> RainSession:
-        """A balanced session backed by a dedicated backend process."""
+    ) -> ManagedSession:
+        """A balanced session backed by this design's backend worker."""
 
-        def binder(sess, gid: int):
+        def binder(sess: ManagedSession, gid: int):
             entry = self.pool.gmap.lookup(gid)
             daemon = self._daemon_for(gid)
             sess.scheduler = self.schedulers[gid]
-            return daemon.design1_worker(app_name, entry.local_id)
+            return self._bind_worker(sess, gid, entry, daemon)
 
-        sess = RainSession(
+        sess = self.SESSION_CLS(
             self.env,
             app_name,
             frontend_node,
@@ -158,9 +188,22 @@ class RainSystem(_ScheduledSystem):
             tenant_id=tenant_id,
             tenant_weight=tenant_weight,
             binder=binder,
+            config=self.config,
+            **self._session_kwargs(),
         )
         sess.faults = self.faults
         return sess
+
+
+class RainSystem(_ScheduledSystem):
+    """The authors' earlier Design I scheduler (no context packing)."""
+
+    name = "Rain"
+    SESSION_CLS = RainSession
+
+    def _bind_worker(self, sess, gid, entry, daemon):
+        """A dedicated backend process (own GPU context) for one app."""
+        return daemon.design1_worker(sess.app_name, entry.local_id)
 
 
 class StringsSystem(_ScheduledSystem):
@@ -171,6 +214,7 @@ class StringsSystem(_ScheduledSystem):
     """
 
     name = "Strings"
+    SESSION_CLS = StringsSession
 
     def __init__(self, *args, mot_enabled: bool = True, sst_enabled: bool = True, **kwargs) -> None:
         super().__init__(*args, **kwargs)
@@ -181,41 +225,43 @@ class StringsSystem(_ScheduledSystem):
             gid: ContextPacker() for gid in self.pool.gids()
         }
 
-    def session(
-        self,
-        app_name: str,
-        frontend_node: Node,
-        tenant_id: str = "t0",
-        tenant_weight: float = 1.0,
-    ) -> StringsSession:
-        """A packed session: backend thread in the per-GPU process."""
+    def _session_kwargs(self) -> dict:
+        return {"mot_enabled": self.mot_enabled, "sst_enabled": self.sst_enabled}
 
-        def binder(sess, gid: int):
-            entry = self.pool.gmap.lookup(gid)
-            daemon = self._daemon_for(gid)
-            sess.scheduler = self.schedulers[gid]
-            sess._set_packer(self.packers[gid])
-            return daemon.design3_worker(app_name, entry.local_id)
+    def _bind_worker(self, sess, gid, entry, daemon):
+        """A backend *thread* in the per-device process: shares that
+        process's single GPU context with every co-located tenant."""
+        sess._set_packer(self.packers[gid])
+        return daemon.design3_worker(sess.app_name, entry.local_id)
 
-        sess = StringsSession(
-            self.env,
-            app_name,
-            frontend_node,
-            self.mapper,
-            self.network,
-            self.rpc,
-            tenant_id=tenant_id,
-            tenant_weight=tenant_weight,
-            binder=binder,
-            mot_enabled=self.mot_enabled,
-            sst_enabled=self.sst_enabled,
-        )
-        sess.faults = self.faults
-        return sess
+
+class Design2System(StringsSystem):
+    """Design II as a first-class system (paper Fig. 5, middle).
+
+    Packed contexts like Strings — per-app streams, MOT staging — but one
+    shared master issue thread per device: every resident tenant's calls
+    funnel through the master's
+    :class:`~repro.remoting.worker.BackendIssueLoop`, so a blocking call
+    from one application stalls every other tenant's queued calls.  Run
+    next to :class:`RainSystem`/:class:`StringsSystem` by the ablation
+    harness to measure that head-of-line-blocking penalty.
+    """
+
+    name = "Design2"
+    SESSION_CLS = Design2Session
+
+    def _bind_worker(self, sess, gid, entry, daemon):
+        """The device's shared master: the session issues on the master's
+        one thread, through the master's shared loop."""
+        sess._set_packer(self.packers[gid])
+        master = daemon.design2_worker(sess.app_name, entry.local_id)
+        sess._attach_shared_loop(master.loop)
+        return master.thread
 
 
 __all__ = [
     "CudaRuntimeSystem",
+    "Design2System",
     "DevicePolicyFactory",
     "RainSystem",
     "StringsSystem",

@@ -75,6 +75,14 @@ def main(argv=None) -> int:
         help="experiment size (quick = CI-sized runs)",
     )
     parser.add_argument(
+        "--system",
+        choices=["strings", "design2", "rain"],
+        default="strings",
+        help="runtime system for the scaleout extension "
+        "(strings = Design III, design2 = shared-master Design II, "
+        "rain = Design I; other experiments fix their own systems)",
+    )
+    parser.add_argument(
         "--trace",
         metavar="PATH",
         default=None,
@@ -318,6 +326,8 @@ def main(argv=None) -> int:
             with tel.stopwatch("experiment.wall_s", experiment=name) as sw:
                 if name in ("table1", "fig1"):
                     module.main()
+                elif name == "scaleout":
+                    module.main(scale, system=args.system)
                 else:
                     module.main(scale)
             print(f"[{name} done in {sw.elapsed:.1f}s]\n")

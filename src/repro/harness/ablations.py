@@ -14,7 +14,7 @@ from typing import Dict, List
 
 from repro.sim import Environment
 from repro.cluster import build_single_gpu_server, build_small_server
-from repro.core import RainSystem, StringsSystem
+from repro.core import Design2System, RainSystem, StringsSystem
 from repro.core.arbiter import install_arbiter
 from repro.core.config import SchedulerConfig
 from repro.core.policies import GMin, LAS, MBF, TFS
@@ -82,6 +82,38 @@ def ablate_sst() -> Dict[str, float]:
             procs[short] = env.process(run_request(env, sess, spec))
         env.run(until=env.all_of(list(procs.values())))
         out[label] = procs["GA"].value.completion_s
+    return out
+
+
+def ablate_backend_designs() -> Dict[str, object]:
+    """Head-of-line blocking across the paper's three backend designs.
+
+    One long tenant (DC) and one short tenant (GA) on one GPU.  Under
+    Design II, both tenants' calls funnel through the device's single
+    master thread, so DC's blocking calls stall GA's queued work; Design
+    III gives GA its own issue thread and Design I its own process.  The
+    short tenant's completion time is the penalty's measure, summarised
+    as ``hol_blocking_penalty_x`` (Design II / Design III).
+    """
+    out: Dict[str, object] = {}
+    for label, cls in (
+        ("Design I (Rain)", RainSystem),
+        ("Design II (shared master)", Design2System),
+        ("Design III (Strings)", StringsSystem),
+    ):
+        env = Environment()
+        nodes, net = build_single_gpu_server(env)
+        system = cls(env, nodes, net, balancing=GMin())
+        procs = {}
+        for i, short in enumerate(["DC", "GA"]):
+            spec = app_by_short(short)
+            sess = system.session(spec.short, nodes[0], tenant_id=f"t{i}")
+            procs[short] = env.process(run_request(env, sess, spec))
+        env.run(until=env.all_of(list(procs.values())))
+        out[label] = procs["GA"].value.completion_s
+    out["hol_blocking_penalty_x"] = (
+        out["Design II (shared master)"] / out["Design III (Strings)"]
+    )
     return out
 
 
@@ -159,6 +191,7 @@ def run(scale: ExperimentScale = SCALE_PAPER) -> Dict[str, object]:
         "context_packing_makespan_s": ablate_context_packing(),
         "mot_makespan_s": ablate_mot(),
         "sst_short_tenant_completion_s": ablate_sst(),
+        "backend_design_ga_completion_s": ablate_backend_designs(),
         "tfs_history_fairness": ablate_tfs_history(scale.fairness_window_s / 2),
         "las_k_completions_s": ablate_las_k(scale.fairness_window_s / 2),
         "arbiter_cold_start": ablate_arbiter_cold_start(),
@@ -180,6 +213,18 @@ def main(scale: ExperimentScale = SCALE_PAPER) -> str:
         for label, value in block.items():
             lines.append(f"  {label:18s} {value:8.3f}{unit}")
         lines.append("")
+
+    designs = data["backend_design_ga_completion_s"]
+    lines.append("Backend designs (GA completion next to DC, Fig. 5)")
+    for label, value in designs.items():
+        if label == "hol_blocking_penalty_x":
+            continue
+        lines.append(f"  {label:26s} {value:8.3f}s")
+    lines.append(
+        "  Design II head-of-line blocking penalty: "
+        f"{designs['hol_blocking_penalty_x']:.2f}x vs Design III"
+    )
+    lines.append("")
 
     lines.append("LAS decay constant k (per-app mean completion, 5 tenants)")
     for k, shared in data["las_k_completions_s"].items():

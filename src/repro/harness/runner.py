@@ -26,7 +26,12 @@ from repro.core.policies import (
     RTF,
     TFS,
 )
-from repro.core.systems import CudaRuntimeSystem, RainSystem, StringsSystem
+from repro.core.systems import (
+    CudaRuntimeSystem,
+    Design2System,
+    RainSystem,
+    StringsSystem,
+)
 from repro.workloads.streams import Request, RequestStream
 
 #: (env, nodes, network) -> system with a ``.session(...)`` method.
@@ -88,6 +93,12 @@ def system_factories() -> Dict[str, SystemFactory]:
 
         return make
 
+    def design2(balancing, device=None):
+        def make(env, nodes, net):
+            return Design2System(env, nodes, net, balancing=balancing(), device_policy=device)
+
+        return make
+
     def rain_fb(policy_cls, device=None):
         def make(env, nodes, net):
             sys_ = RainSystem(env, nodes, net, balancing=GMin(), device_policy=device)
@@ -113,6 +124,9 @@ def system_factories() -> Dict[str, SystemFactory]:
         "GRR-Strings": strings(GRR),
         "GMin-Strings": strings(GMin),
         "GWtMin-Strings": strings(GWtMin),
+        # -- backend design ablation (paper Fig. 5, middle design) ----------
+        "GRR-Design2": design2(GRR),
+        "GMin-Design2": design2(GMin),
         # -- device-level scheduling (Figs. 11-13) -----------------------------
         "TFS-Rain": rain(GMin, device=TFS),
         "TFS-Strings": strings(GMin, device=TFS),

@@ -20,7 +20,7 @@ from repro.sim.rng import RandomStream
 from repro.cluster import Network, Node
 from repro.simgpu.specs import NODE_A_DEVICES
 from repro.core.policies import GMin
-from repro.core.systems import StringsSystem
+from repro.core.systems import Design2System, RainSystem, StringsSystem
 from repro.metrics import mean_completion_s
 from repro.workloads import exponential_stream
 from repro.apps import app_by_short
@@ -34,6 +34,13 @@ from repro.harness.runner import (
 #: Mixed aggregate workload: a long compute app, a bandwidth hog and a
 #: short transfer-heavy app, all arriving at node 0.
 WORKLOAD = ("DC", "HI", "MC")
+
+#: Systems selectable via ``python -m repro.harness scaleout --system ...``.
+SYSTEMS = {
+    "strings": StringsSystem,
+    "design2": Design2System,
+    "rain": RainSystem,
+}
 
 
 def build_n_node_cluster(n: int):
@@ -49,13 +56,18 @@ def build_n_node_cluster(n: int):
     return build
 
 
-def run(scale: ExperimentScale = SCALE_PAPER, max_nodes: int = 4) -> Dict[int, Dict[str, float]]:
+def run(
+    scale: ExperimentScale = SCALE_PAPER,
+    max_nodes: int = 4,
+    system: str = "strings",
+) -> Dict[int, Dict[str, float]]:
     """mean completion time and speedup vs the 1-node deployment."""
+    system_cls = SYSTEMS[system]
     out: Dict[int, Dict[str, float]] = {}
     base_mean = None
     for n in range(1, max_nodes + 1):
         def factory(env, nodes, net):
-            return StringsSystem(env, nodes, net, balancing=GMin())
+            return system_cls(env, nodes, net, balancing=GMin())
 
         rng = RandomStream(scale.seed, "scaleout")
         streams = [
@@ -82,16 +94,17 @@ def run(scale: ExperimentScale = SCALE_PAPER, max_nodes: int = 4) -> Dict[int, D
     return out
 
 
-def main(scale: ExperimentScale = SCALE_PAPER) -> str:
-    data = run(scale)
+def main(scale: ExperimentScale = SCALE_PAPER, system: str = "strings") -> str:
+    data = run(scale, system=system)
     rows = [
         [n, d["gpus"], d["mean_completion_s"], d["speedup_vs_1node"]]
         for n, d in sorted(data.items())
     ]
+    name = SYSTEMS[system].name
     out = format_table(
         ["Nodes", "GPUs", "Mean completion (s)", "Speedup vs 1 node"],
         rows,
-        title="Scale-out extension — GMin-Strings over growing gPools "
+        title=f"Scale-out extension — GMin-{name} over growing gPools "
               "(fixed aggregate workload arriving at node 0)",
     )
     print(out)

@@ -3,18 +3,13 @@
 A simulation-time-aware observability subsystem threaded through the
 whole stack:
 
-* :mod:`repro.obs.instruments` — counters, gauges, log-scale histograms
-  and sim-time spans on a per-run :class:`Telemetry` registry (with a
-  no-op null registry as the always-on default);
+* the **instrument kernel** — counters, gauges, histograms, sim-time
+  spans, the decision log, time-series sampling and tenant attribution —
+  lives in the bottom-layer :mod:`repro.telemetry` package (DESIGN.md
+  §12) and is re-exported here (``repro.obs.instruments`` etc. remain as
+  compatibility shims);
 * :mod:`repro.obs.spans` — the request-span taxonomy and per-phase
   latency breakdown queries;
-* :mod:`repro.obs.decisions` — the structured scheduler decision log
-  (Target-GPU-Selector placements, Policy Arbiter switches, generic
-  events such as SLO violations);
-* :mod:`repro.obs.timeseries` — ring-buffered time series and the
-  sim-time :class:`Sampler` that snapshots per-GPU state (ISSUE 2);
-* :mod:`repro.obs.attribution` — per-(tenant, GPU) busy-time / bytes /
-  wait / interference accounting (ISSUE 2);
 * :mod:`repro.obs.slo` — per-workload SLO targets with windowed
   burn-rate evaluation and structured violations (ISSUE 2);
 * :mod:`repro.obs.export` — Chrome ``trace_event`` JSON, flat metrics
@@ -87,24 +82,22 @@ from repro.obs.report import html_report, write_html_report
 from repro.obs.slo import SloMonitor, SloTarget, SloViolation, parse_slo_spec
 from repro.obs.timeseries import NULL_SERIES, Sampler, Series
 
-_default: Telemetry = NULL_TELEMETRY
+import repro.telemetry as _telemetry
 
 
 def install(telemetry: Telemetry) -> Telemetry:
     """Make ``telemetry`` the process-wide default registry."""
-    global _default
-    _default = telemetry
-    return telemetry
+    return _telemetry.install(telemetry)
 
 
 def current() -> Telemetry:
     """The installed default registry (the null registry unless installed)."""
-    return _default
+    return _telemetry.current()
 
 
 def reset() -> None:
     """Restore the null default registry."""
-    install(NULL_TELEMETRY)
+    _telemetry.reset()
 
 
 __all__ = [

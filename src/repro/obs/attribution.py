@@ -1,197 +1,11 @@
-"""Per-tenant interference attribution (ISSUE 2).
+"""Compatibility shim: moved to :mod:`repro.telemetry.attribution`."""
 
-The paper's fairness policies (TFS/LAS at the device, RTF/GUF/DTF/MBF at
-the balancer) promise each tenant a share of the accelerator — but PR 1's
-telemetry could only say what the *system* did, not what each *tenant
-experienced*.  This module accumulates, per ``(tenant, GID)``:
-
-* **busy time** — seconds of SM residency (kernels) and DMA occupancy
-  (transfers) attributable to the tenant's completed ops;
-* **bytes moved** — host↔device transfer volume;
-* **queue wait / gate park** — seconds the tenant's ops spent in the
-  backend issue queue and parked at the dispatch gate;
-* **interference index** — per-request slowdown versus the application's
-  analytic solo-run baseline (``completion / solo_runtime``), so "tenant
-  t2 on GPU1 ran 3.4x slower than alone" falls out of any observed run.
-
-All record methods are called behind ``telemetry.enabled`` guards; the
-null registry carries a shared no-op table.  Stdlib-only by design.
-"""
-
-from __future__ import annotations
-
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
-
-
-@dataclass
-class TenantUsage:
-    """Accumulated experience of one tenant on one GPU."""
-
-    tenant: str
-    gid: int
-    #: Seconds of completed kernel execution (SM residency).
-    gpu_busy_s: float = 0.0
-    #: Seconds of completed transfers (DMA occupancy).
-    transfer_s: float = 0.0
-    #: Transfer volume, host<->device, in GB.
-    bytes_moved_gb: float = 0.0
-    #: Device-memory traffic of the tenant's kernels, in GB.
-    kernel_bytes_gb: float = 0.0
-    #: Seconds the tenant's ops waited in backend issue queues.
-    queue_wait_s: float = 0.0
-    #: Seconds the tenant's ops were parked at the dispatch gate.
-    gate_park_s: float = 0.0
-    #: Completed requests attributed here (by binding GID).
-    requests: int = 0
-    #: Sum of per-request slowdown ratios (completion / solo baseline).
-    slowdown_sum: float = 0.0
-    #: Worst per-request slowdown seen.
-    slowdown_max: float = 0.0
-    #: Application registrations that unregistered here (profiles emitted).
-    profiles: int = 0
-    #: Total registered residency (register -> unregister) in seconds.
-    resident_s: float = 0.0
-    #: Per-app request counts, for the report's attribution table.
-    apps: Dict[str, int] = field(default_factory=dict)
-
-    @property
-    def interference_index(self) -> float:
-        """Mean slowdown versus solo baseline (1.0 = no interference)."""
-        return self.slowdown_sum / self.requests if self.requests else 0.0
-
-    @property
-    def busy_s(self) -> float:
-        """Total attributable device-side busy seconds."""
-        return self.gpu_busy_s + self.transfer_s
-
-
-class AttributionTable:
-    """Per-(tenant, GID) usage accounting, hung off a telemetry registry."""
-
-    def __init__(self) -> None:
-        self._rows: Dict[Tuple[str, int], TenantUsage] = {}
-
-    # -- recording (all callers guard on telemetry.enabled) ---------------
-
-    def usage(self, tenant: str, gid: int) -> TenantUsage:
-        """The (created-on-demand) accumulator row for ``(tenant, gid)``."""
-        key = (tenant, gid)
-        row = self._rows.get(key)
-        if row is None:
-            row = TenantUsage(tenant=tenant, gid=gid)
-            self._rows[key] = row
-        return row
-
-    def record_kernel(self, tenant: str, gid: int, seconds: float, bytes_gb: float) -> None:
-        """One completed kernel op of ``tenant`` on ``gid``."""
-        row = self.usage(tenant, gid)
-        row.gpu_busy_s += seconds
-        row.kernel_bytes_gb += bytes_gb
-
-    def record_copy(self, tenant: str, gid: int, seconds: float, nbytes: float) -> None:
-        """One completed transfer of ``tenant`` on ``gid``."""
-        row = self.usage(tenant, gid)
-        row.transfer_s += seconds
-        row.bytes_moved_gb += nbytes / 1e9
-
-    def record_wait(
-        self, tenant: str, gid: int, queue_s: float = 0.0, gate_s: float = 0.0
-    ) -> None:
-        """Queue-wait / gate-park seconds experienced by ``tenant``."""
-        row = self.usage(tenant, gid)
-        row.queue_wait_s += queue_s
-        row.gate_park_s += gate_s
-
-    def record_request(
-        self, tenant: str, gid: int, app: str, completion_s: float, solo_s: float
-    ) -> None:
-        """One completed end-user request and its slowdown vs solo."""
-        row = self.usage(tenant, gid)
-        row.requests += 1
-        row.apps[app] = row.apps.get(app, 0) + 1
-        if solo_s > 0:
-            ratio = completion_s / solo_s
-            row.slowdown_sum += ratio
-            if ratio > row.slowdown_max:
-                row.slowdown_max = ratio
-
-    def record_profile(self, tenant: str, gid: int, runtime_s: float) -> None:
-        """One application unregistration (register->exit residency)."""
-        row = self.usage(tenant, gid)
-        row.profiles += 1
-        row.resident_s += runtime_s
-
-    # -- queries -----------------------------------------------------------
-
-    def rows(self) -> List[TenantUsage]:
-        """All rows, sorted by (tenant, gid)."""
-        return [self._rows[k] for k in sorted(self._rows)]
-
-    def tenants(self) -> List[str]:
-        """Distinct tenants, sorted."""
-        return sorted({t for t, _ in self._rows})
-
-    def per_tenant(self) -> Dict[str, TenantUsage]:
-        """Rows aggregated across GPUs, keyed by tenant (gid = -1)."""
-        out: Dict[str, TenantUsage] = {}
-        for row in self.rows():
-            agg = out.get(row.tenant)
-            if agg is None:
-                agg = TenantUsage(tenant=row.tenant, gid=-1)
-                out[row.tenant] = agg
-            agg.gpu_busy_s += row.gpu_busy_s
-            agg.transfer_s += row.transfer_s
-            agg.bytes_moved_gb += row.bytes_moved_gb
-            agg.kernel_bytes_gb += row.kernel_bytes_gb
-            agg.queue_wait_s += row.queue_wait_s
-            agg.gate_park_s += row.gate_park_s
-            agg.requests += row.requests
-            agg.slowdown_sum += row.slowdown_sum
-            agg.slowdown_max = max(agg.slowdown_max, row.slowdown_max)
-            agg.profiles += row.profiles
-            agg.resident_s += row.resident_s
-            for app, n in row.apps.items():
-                agg.apps[app] = agg.apps.get(app, 0) + n
-        return out
-
-    def fairness_spread(self) -> float:
-        """Max/min ratio of per-tenant busy time (1.0 = perfectly even).
-
-        A quick audit number for the fairness policies: how unevenly did
-        device time actually land across tenants?  0.0 when fewer than
-        two tenants saw any busy time.
-        """
-        busies = [u.busy_s for u in self.per_tenant().values() if u.busy_s > 0]
-        if len(busies) < 2:
-            return 0.0
-        return max(busies) / min(busies)
-
-    def __len__(self) -> int:
-        return len(self._rows)
-
-
-class NullAttributionTable(AttributionTable):
-    """Disabled table: drops every record."""
-
-    def record_kernel(self, *a, **kw) -> None:  # type: ignore[override]
-        pass
-
-    def record_copy(self, *a, **kw) -> None:  # type: ignore[override]
-        pass
-
-    def record_wait(self, *a, **kw) -> None:  # type: ignore[override]
-        pass
-
-    def record_request(self, *a, **kw) -> None:  # type: ignore[override]
-        pass
-
-    def record_profile(self, *a, **kw) -> None:  # type: ignore[override]
-        pass
-
-
-NULL_ATTRIBUTION = NullAttributionTable()
-
+from repro.telemetry.attribution import (  # noqa: F401
+    NULL_ATTRIBUTION,
+    AttributionTable,
+    NullAttributionTable,
+    TenantUsage,
+)
 
 __all__ = [
     "AttributionTable",

@@ -1,196 +1,13 @@
-"""Structured scheduler decision log.
+"""Compatibility shim: moved to :mod:`repro.telemetry.decisions`."""
 
-The paper's scheduling quality hinges on two decision points that are
-otherwise invisible in end-of-run aggregates:
-
-* every **Target GPU Selector placement** — which policy ran, what DST /
-  SFT inputs it consulted, which GID it chose and how the alternatives
-  scored (paper Section III.C / IV.A);
-* every **Policy Arbiter switch** — when the balancer upgraded from the
-  cold-start static policy to a feedback policy and on how much evidence
-  (Section V.D).
-
-Records are append-only and queryable after a run; the exporter renders
-them as instant events on the trace's scheduler track.
-"""
-
-from __future__ import annotations
-
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
-
-
-@dataclass(frozen=True)
-class PlacementDecision:
-    """One Target-GPU-Selector placement."""
-
-    t: float
-    app_name: str
-    frontend_host: str
-    policy: str
-    chosen_gid: int
-    #: Per-GID score the policy minimised (lower = more attractive); a
-    #: DST snapshot at decision time for policies without explicit scores.
-    scores: Dict[int, float] = field(default_factory=dict)
-    #: SFT inputs consulted (empty when the app was unknown to the SFT).
-    est_runtime_s: float = 0.0
-    sft_known: bool = False
-    run_id: int = 0
-    run_label: str = ""
-
-
-@dataclass(frozen=True)
-class LogEvent:
-    """A generic structured event (e.g. an SLO violation)."""
-
-    t: float
-    kind: str
-    name: str
-    args: Dict[str, Any] = field(default_factory=dict)
-    run_id: int = 0
-    run_label: str = ""
-
-
-@dataclass(frozen=True)
-class PolicySwitch:
-    """One Policy Arbiter transition."""
-
-    t: float
-    from_policy: str
-    to_policy: str
-    profiles_seen: int
-    distinct_apps: int
-    run_id: int = 0
-    run_label: str = ""
-
-
-class DecisionLog:
-    """Append-only record of scheduler decisions, hung off a registry."""
-
-    def __init__(self, telemetry=None) -> None:
-        self._telemetry = telemetry
-        self.placements: List[PlacementDecision] = []
-        self.switches: List[PolicySwitch] = []
-        self.events: List[LogEvent] = []
-
-    # -- recording ---------------------------------------------------------
-
-    def _run(self) -> tuple:
-        if self._telemetry is None:
-            return 0, ""
-        return self._telemetry.run_id, self._telemetry.run_label
-
-    def record_placement(
-        self,
-        t: float,
-        app_name: str,
-        frontend_host: str,
-        policy: str,
-        chosen_gid: int,
-        scores: Optional[Dict[int, float]] = None,
-        est_runtime_s: float = 0.0,
-        sft_known: bool = False,
-    ) -> PlacementDecision:
-        run_id, run_label = self._run()
-        rec = PlacementDecision(
-            t=t,
-            app_name=app_name,
-            frontend_host=frontend_host,
-            policy=policy,
-            chosen_gid=chosen_gid,
-            scores=dict(scores) if scores else {},
-            est_runtime_s=est_runtime_s,
-            sft_known=sft_known,
-            run_id=run_id,
-            run_label=run_label,
-        )
-        self.placements.append(rec)
-        return rec
-
-    def record_switch(
-        self,
-        t: float,
-        from_policy: str,
-        to_policy: str,
-        profiles_seen: int,
-        distinct_apps: int,
-    ) -> PolicySwitch:
-        run_id, run_label = self._run()
-        rec = PolicySwitch(
-            t=t,
-            from_policy=from_policy,
-            to_policy=to_policy,
-            profiles_seen=profiles_seen,
-            distinct_apps=distinct_apps,
-            run_id=run_id,
-            run_label=run_label,
-        )
-        self.switches.append(rec)
-        return rec
-
-    def record_event(
-        self,
-        t: float,
-        kind: str,
-        name: str,
-        args: Optional[Dict[str, Any]] = None,
-    ) -> LogEvent:
-        """Record a generic structured event (SLO violations, anomalies)."""
-        run_id, run_label = self._run()
-        rec = LogEvent(
-            t=t,
-            kind=kind,
-            name=name,
-            args=dict(args) if args else {},
-            run_id=run_id,
-            run_label=run_label,
-        )
-        self.events.append(rec)
-        return rec
-
-    # -- queries -----------------------------------------------------------
-
-    def placements_for(self, app_name: str) -> List[PlacementDecision]:
-        """All placements of one application, in decision order."""
-        return [p for p in self.placements if p.app_name == app_name]
-
-    def by_gid(self) -> Dict[int, List[PlacementDecision]]:
-        """Placements grouped by chosen GID."""
-        out: Dict[int, List[PlacementDecision]] = {}
-        for p in self.placements:
-            out.setdefault(p.chosen_gid, []).append(p)
-        return out
-
-    def policy_mix(self) -> Dict[str, int]:
-        """Placement counts per policy name (shows arbiter effect)."""
-        out: Dict[str, int] = {}
-        for p in self.placements:
-            out[p.policy] = out.get(p.policy, 0) + 1
-        return out
-
-    def events_of(self, kind: str) -> List[LogEvent]:
-        """All generic events of one kind, in record order."""
-        return [e for e in self.events if e.kind == kind]
-
-    def __len__(self) -> int:
-        return len(self.placements) + len(self.switches) + len(self.events)
-
-
-class NullDecisionLog(DecisionLog):
-    """Disabled log: drops every record."""
-
-    def record_placement(self, *a, **kw):  # type: ignore[override]
-        return None
-
-    def record_switch(self, *a, **kw):  # type: ignore[override]
-        return None
-
-    def record_event(self, *a, **kw):  # type: ignore[override]
-        return None
-
-
-NULL_DECISION_LOG = NullDecisionLog()
-
+from repro.telemetry.decisions import (  # noqa: F401
+    NULL_DECISION_LOG,
+    DecisionLog,
+    LogEvent,
+    NullDecisionLog,
+    PlacementDecision,
+    PolicySwitch,
+)
 
 __all__ = [
     "DecisionLog",

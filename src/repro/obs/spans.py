@@ -22,39 +22,31 @@ cpu         the application's host-side compute phases (the offload
             loop's CPU work between GPU calls)
 ==========  ============================================================
 
-The module also provides the post-run queries that make per-phase
-latency breakdowns "fall out" of any traced run.
+The category constants live in :mod:`repro.telemetry.categories` (the
+bottom-layer instrument kernel, so the session pipeline can tag spans
+without importing ``repro.obs``) and are re-exported here; this module
+adds the post-run queries that make per-phase latency breakdowns "fall
+out" of any traced run.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.obs.instruments import Span, Telemetry
-
-CAT_REQUEST = "request"
-CAT_BIND = "bind"
-CAT_QUEUE = "queue"
-CAT_GATE = "gate"
-CAT_KERNEL = "kernel"
-CAT_COPY = "copy"
-CAT_STAGING = "staging"
-CAT_DEFAULT = "default"
-CAT_CPU = "cpu"
-
-#: Session-side categories that partition a request's managed-path time.
-REQUEST_PHASES = (
-    CAT_BIND, CAT_QUEUE, CAT_GATE, CAT_KERNEL, CAT_COPY, CAT_STAGING,
-    CAT_DEFAULT, CAT_CPU,
+from repro.telemetry.categories import (  # noqa: F401
+    CAT_BIND,
+    CAT_CPU,
+    CAT_DEFAULT,
+    CAT_GATE,
+    CAT_KERNEL,
+    CAT_COPY,
+    CAT_QUEUE,
+    CAT_REQUEST,
+    CAT_STAGING,
+    PHASE_CATEGORY,
+    REQUEST_PHASES,
 )
-
-#: GpuPhase.value -> span category for session-side op spans.
-PHASE_CATEGORY = {
-    "kernel-launch": CAT_KERNEL,
-    "host-to-device": CAT_COPY,
-    "device-to-host": CAT_COPY,
-    "default": CAT_DEFAULT,
-}
+from repro.telemetry.instruments import Span, Telemetry
 
 
 def request_spans(telemetry: Telemetry) -> List[Span]:

@@ -1,23 +1,44 @@
-"""GPU remoting: interposer-side RPC costs and backend worker models.
+"""GPU remoting: the frontend→backend request pipeline's middle layers.
 
 Strings (like GViM/vCUDA/rCUDA/Pegasus before it) splits every application
 into a frontend — an interposer library that intercepts CUDA runtime calls
 — and a per-node backend daemon that executes them on real GPUs (paper
-Fig. 3).  This package provides:
+Fig. 3).  This package provides the pipeline's shared machinery
+(DESIGN.md §12):
 
-* :class:`~repro.remoting.rpc.RpcCostModel` — marshalling/dispatch/wire
-  costs of each intercepted call, local (shared memory) or remote (GigE);
+* :class:`~repro.remoting.interposer.FrontendInterposer` — layer 1: the
+  call-capture side; spends marshalling/shipping/staging time on behalf
+  of a session;
+* :class:`~repro.remoting.transport.Transport` — layer 2: the channel to
+  the backend, bundling the interconnect with the
+  :class:`~repro.remoting.rpc.RpcCostModel` (shared-memory locally, GigE
+  remotely; fault-aware through the network object);
+* :class:`~repro.remoting.worker.BackendIssueLoop` — layer 3: the one
+  FIFO call-issue loop every backend design shares; the designs differ
+  only in who shares a loop instance;
 * :class:`~repro.remoting.backend.BackendDaemon` — the per-node daemon,
   with the paper's three frontend→backend mapping designs (Fig. 5):
   Design I (process per app — Rain), Design II (single master thread per
-  device), Design III (thread per app inside a per-device process —
-  Strings);
+  device, :class:`~repro.remoting.backend.DesignIIMaster`), Design III
+  (thread per app inside a per-device process — Strings);
 * :class:`~repro.remoting.session.GpuSession` — the abstract app-facing
   handle implemented by each runtime system in :mod:`repro.core.systems`.
 """
 
 from repro.remoting.rpc import RpcCostModel
+from repro.remoting.transport import Transport
+from repro.remoting.interposer import FrontendInterposer
+from repro.remoting.worker import BackendIssueLoop, IssueItem
 from repro.remoting.backend import BackendDaemon, DesignIIMaster
 from repro.remoting.session import GpuSession
 
-__all__ = ["BackendDaemon", "DesignIIMaster", "GpuSession", "RpcCostModel"]
+__all__ = [
+    "BackendDaemon",
+    "BackendIssueLoop",
+    "DesignIIMaster",
+    "FrontendInterposer",
+    "GpuSession",
+    "IssueItem",
+    "RpcCostModel",
+    "Transport",
+]

@@ -19,52 +19,62 @@ Paper Fig. 5:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
-from repro.sim import Environment, Event, Store
+from repro.sim import Environment, Event
 from repro.cluster.node import Node
 from repro.cuda import CudaThread, HostProcess
+from repro.remoting.worker import BackendIssueLoop, IssueItem
 
 
 class DesignIIMaster:
     """The single issue thread of a Design II backend.
 
-    All tenants' call closures funnel through one FIFO; the master executes
+    All tenants' calls funnel through one shared
+    :class:`~repro.remoting.worker.BackendIssueLoop`; the master executes
     them in arrival order, *waiting out* blocking calls before touching the
     next tenant's work — the head-of-line blocking the paper's Design III
-    eliminates.  Kept for the design ablation benchmark.
+    eliminates.  :class:`~repro.core.systems.Design2System` sessions post
+    :class:`IssueItem`\\ s onto :attr:`loop` directly; :meth:`submit` keeps
+    the raw closure interface used by the design ablation benchmark.
     """
 
     def __init__(self, env: Environment, process: HostProcess, device_index: int) -> None:
         self.env = env
         self.process = process
         self.device_index = device_index
-        self._queue: Store = Store(env)
+        #: The master's one CUDA thread: every resident tenant's calls are
+        #: issued on it, inside the process's single GPU context.
+        self.thread: CudaThread = process.spawn_thread()
+        self.thread.set_device(device_index)
         self.calls_served = 0
-        env.process(self._serve(), name=f"design2-master:dev{device_index}")
+        #: The shared per-device issue loop (Fig. 5, middle design).
+        self.loop = BackendIssueLoop(
+            env, name=f"design2-master:dev{device_index}", on_served=self._served
+        )
+
+    def _served(self, item: IssueItem, result) -> None:
+        self.calls_served += 1
+        tel = self.env.telemetry
+        if tel.enabled:
+            tel.counter("backend.design2_calls", device=self.device_index).inc()
 
     def submit(self, call) -> Event:
         """Enqueue a call closure ``call(thread) -> generator``; returns an
         event that fires with the call's result once the master ran it."""
         done = self.env.event()
-        self._queue.put((call, done))
+        self.loop.post(
+            IssueItem(
+                owner=None,
+                phase=None,
+                make=lambda: self.env.process(call(self.thread)),
+                blocking=True,
+                done=done,
+                gated=False,
+                posted_at=self.env.now,
+            )
+        )
         return done
-
-    def _serve(self):
-        thread = self.process.spawn_thread()
-        thread.set_device(self.device_index)
-        while True:
-            call, done = yield self._queue.get()
-            try:
-                result = yield self.env.process(call(thread))
-            except Exception as exc:  # noqa: BLE001 - marshalled to caller
-                done.fail(exc)
-                continue
-            self.calls_served += 1
-            tel = self.env.telemetry
-            if tel.enabled:
-                tel.counter("backend.design2_calls", device=self.device_index).inc()
-            done.succeed(result)
 
 
 class BackendDaemon:
@@ -120,6 +130,19 @@ class BackendDaemon:
             proc = self._device_process(local_device)
             master = DesignIIMaster(self.env, proc, local_device)
             self._masters[local_device] = master
+        return master
+
+    def design2_worker(self, app_name: str, local_device: int) -> DesignIIMaster:
+        """Bind one app onto the device's shared master (Design II).
+
+        Unlike Designs I/III, no new thread is created: the binding app
+        shares the master's single context and issue loop with every
+        co-resident tenant.  Returns the master; the caller issues on
+        ``master.thread`` through ``master.loop``.
+        """
+        master = self.design2_master(local_device)
+        self.workers_created += 1
+        self._count_worker("design2")
         return master
 
     # -- Design III ----------------------------------------------------------------

@@ -1,0 +1,90 @@
+"""The frontend interposer (pipeline layer 1, paper Fig. 3).
+
+The interposer library is the half of the split driver that lives inside
+the application's process: it captures CUDA runtime calls and charges
+their frontend-side costs — marshalling, the transport hop, bulk payload
+shipping, and the Memory Operation Translator's pinned-staging copy.
+
+Each helper returns a sim :class:`~repro.sim.Event` (a timeout) that the
+session's call generators ``yield``, so the cost model stays in one place
+per layer instead of scattered ``env.timeout(rpc...)`` calls.  The
+staging helper is the frontend layer's single observability hook: it
+records the ``staging`` span when the copy actually took time.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.categories import CAT_STAGING
+from repro.sim import Event
+from repro.remoting.transport import Transport
+
+
+class FrontendInterposer:
+    """CUDA-call capture + RPC marshalling costs for one session."""
+
+    __slots__ = ("session", "transport", "_staging_meta")
+
+    def __init__(self, session, transport: Transport) -> None:
+        self.session = session
+        self.transport = transport
+        #: nbytes -> (staging span name, shared args dict), built lazily.
+        self._staging_meta: dict = {}
+
+    # -- control-path hops --------------------------------------------------
+
+    def request(self, payload_bytes: int = 128) -> Event:
+        """The frontend→backend hop of one intercepted call."""
+        return self.session.env.timeout(self.transport.request_s(payload_bytes))
+
+    def response(self) -> Event:
+        """The backend→frontend hop carrying the call's return."""
+        return self.session.env.timeout(self.transport.response_s())
+
+    def roundtrip(self) -> Event:
+        """Both hops of a blocking call as one delay (no backend work)."""
+        return self.session.env.timeout(self.transport.roundtrip_s())
+
+    def marshal(self) -> Event:
+        """Marshalling only: a fire-and-forget call returns to the app as
+        soon as its parameters are packed."""
+        return self.session.env.timeout(self.transport.marshal_s)
+
+    # -- data path ----------------------------------------------------------
+
+    def ship(self, nbytes: int) -> Event:
+        """Bulk memcpy payload crossing the channel (either direction)."""
+        return self.session.env.timeout(self.transport.bulk_s(nbytes))
+
+    def stage(self, nbytes: int):
+        """The MOT's host copy into pinned staging memory (a generator).
+
+        This is the frontend layer's one telemetry hook: when the copy
+        took sim time, it is recorded as a ``staging`` span under the
+        owning request's root span.
+        """
+        sess = self.session
+        env = sess.env
+        staged_at = env.now
+        yield env.timeout(self.transport.staging_s(nbytes))
+        tel = env.telemetry
+        if tel.enabled and env.now > staged_at:
+            meta = self._staging_meta.get(nbytes)
+            if meta is None:
+                meta = self._staging_meta[nbytes] = (
+                    f"staging:{sess.app_name}",
+                    {"app": sess.app_name, "bytes": nbytes},
+                )
+            tel.start_span(
+                meta[0],
+                cat=CAT_STAGING,
+                track=sess._obs_track,
+                parent=sess.root_span,
+                args=meta[1],
+                start=staged_at,
+            ).finish(env.now)
+
+    def __repr__(self) -> str:
+        return f"<FrontendInterposer app={self.session.app_name!r}>"
+
+
+__all__ = ["FrontendInterposer"]

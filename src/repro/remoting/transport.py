@@ -1,0 +1,61 @@
+"""The frontend ↔ backend transport hop (pipeline layer 2).
+
+A :class:`Transport` bundles the cluster interconnect with the RPC cost
+model into one channel object per session: shared-memory-queue costs when
+the bound GPU is local to the frontend's node, GigE costs otherwise.  The
+``local`` flag flips at bind time, once the workload balancer has picked
+the target device.  The transport is fault-aware through its
+:class:`~repro.cluster.network.Network`: link-degradation faults mutate
+the network in place, so every transport crossing the degraded link sees
+the higher latency / lower bandwidth immediately.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.network import Network
+from repro.remoting.rpc import RpcCostModel
+
+
+class Transport:
+    """One session's channel to its backend daemon."""
+
+    __slots__ = ("network", "rpc", "local")
+
+    def __init__(self, network: Network, rpc: RpcCostModel, local: bool = True) -> None:
+        self.network = network
+        self.rpc = rpc
+        #: Whether the bound GPU shares the frontend's node.  True until
+        #: bind resolves the placement (the pre-bind interception hop is
+        #: always node-local).
+        self.local = local
+
+    @property
+    def marshal_s(self) -> float:
+        """Frontend marshalling cost of a fire-and-forget call."""
+        return self.rpc.marshal_s
+
+    def request_s(self, payload_bytes: int = 128) -> float:
+        """Frontend → backend delay for a control message."""
+        return self.rpc.request_delay(self.network, self.local, payload_bytes)
+
+    def response_s(self, payload_bytes: int = 64) -> float:
+        """Backend → frontend delay for a return code / output params."""
+        return self.rpc.response_delay(self.network, self.local, payload_bytes)
+
+    def roundtrip_s(self, payload_bytes: int = 128) -> float:
+        """Full blocking-call overhead excluding GPU execution time."""
+        return self.rpc.roundtrip_delay(self.network, self.local, payload_bytes)
+
+    def bulk_s(self, nbytes: int) -> float:
+        """Shipping a memcpy payload across the channel (either way)."""
+        return self.rpc.bulk_data_delay(self.network, self.local, nbytes)
+
+    def staging_s(self, nbytes: int) -> float:
+        """Host-to-pinned-buffer copy performed by the MOT."""
+        return self.rpc.staging_delay(nbytes)
+
+    def __repr__(self) -> str:
+        return f"<Transport local={self.local}>"
+
+
+__all__ = ["Transport"]

@@ -5,7 +5,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Generator, List, Optional, Tuple, Union
 
-import repro.obs as _obs
+import repro.telemetry as _telemetry
 from repro.sim.events import (
     AllOf,
     AnyOf,
@@ -37,7 +37,7 @@ class Environment:
     provides factories for events, timeouts and processes.
 
     ``telemetry`` is the run's observability registry (see
-    :mod:`repro.obs`): pass a :class:`~repro.obs.Telemetry` to trace the
+    :mod:`repro.telemetry`): pass a :class:`~repro.telemetry.Telemetry` to trace the
     run, or leave it unset to use the process-wide default — the no-op
     null registry unless a harness installed a real one.
 
@@ -58,7 +58,7 @@ class Environment:
         self._queue: List[_QueueEntry] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
-        self.telemetry = telemetry if telemetry is not None else _obs.current()
+        self.telemetry = telemetry if telemetry is not None else _telemetry.current()
         self.telemetry.attach(self)
 
     # -- clock & introspection ---------------------------------------------

@@ -1,0 +1,67 @@
+"""Span-category taxonomy shared by the request pipeline and profilers.
+
+Every end-user request gets a **root span**, with child spans recorded at
+exactly one point per pipeline layer (DESIGN.md §12): the frontend
+interposer (staging), the backend issue loop (queue/gate/op spans) and
+the device engines (kernel/copy residency).  The categories below are the
+vocabulary those layers share with the critical-path profiler in
+:mod:`repro.obs.analysis`.
+
+==========  ============================================================
+category    meaning
+==========  ============================================================
+request     root: arrival to completion of one end-user request
+bind        ``cudaSetDevice`` interception: balancer placement + backend
+            worker creation + scheduler registration
+queue       op waiting in the backend issue queue (FIFO)
+gate        op parked at the dispatch gate (device policy held the
+            backend thread asleep)
+kernel      kernel execution — session-side (issue to completion) and
+            engine-side (resident on the SM array)
+copy        memcpy execution (H2D / D2H), session- and engine-side
+staging     MOT pinned-staging delay on the frontend
+default     ungated default-phase ops (malloc / free / synchronize)
+cpu         the application's host-side compute phases (the offload
+            loop's CPU work between GPU calls)
+==========  ============================================================
+"""
+
+from __future__ import annotations
+
+CAT_REQUEST = "request"
+CAT_BIND = "bind"
+CAT_QUEUE = "queue"
+CAT_GATE = "gate"
+CAT_KERNEL = "kernel"
+CAT_COPY = "copy"
+CAT_STAGING = "staging"
+CAT_DEFAULT = "default"
+CAT_CPU = "cpu"
+
+#: Session-side categories that partition a request's managed-path time.
+REQUEST_PHASES = (
+    CAT_BIND, CAT_QUEUE, CAT_GATE, CAT_KERNEL, CAT_COPY, CAT_STAGING,
+    CAT_DEFAULT, CAT_CPU,
+)
+
+#: GpuPhase.value -> span category for session-side op spans.
+PHASE_CATEGORY = {
+    "kernel-launch": CAT_KERNEL,
+    "host-to-device": CAT_COPY,
+    "device-to-host": CAT_COPY,
+    "default": CAT_DEFAULT,
+}
+
+__all__ = [
+    "CAT_BIND",
+    "CAT_CPU",
+    "CAT_DEFAULT",
+    "CAT_GATE",
+    "CAT_KERNEL",
+    "CAT_COPY",
+    "CAT_QUEUE",
+    "CAT_REQUEST",
+    "CAT_STAGING",
+    "PHASE_CATEGORY",
+    "REQUEST_PHASES",
+]

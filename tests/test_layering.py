@@ -1,0 +1,75 @@
+"""The import-layering lint (tools/check_layering.py).
+
+The repro tree itself must be clean, and the checker must actually catch
+back-edges — a lint that never fires is worse than none.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+spec = importlib.util.spec_from_file_location(
+    "check_layering", REPO / "tools" / "check_layering.py"
+)
+check_layering = importlib.util.module_from_spec(spec)
+sys.modules["check_layering"] = check_layering
+spec.loader.exec_module(check_layering)
+
+
+def test_repro_tree_is_clean():
+    assert check_layering.check() == []
+
+
+def test_every_package_is_ranked():
+    packages = {
+        p.name
+        for p in check_layering.REPRO_ROOT.iterdir()
+        if p.is_dir() and (p / "__init__.py").exists()
+    }
+    assert packages == set(check_layering.RANK)
+
+
+def test_back_edge_is_caught(tmp_path):
+    root = tmp_path / "repro"
+    for pkg in ("sim", "core"):
+        (root / pkg).mkdir(parents=True)
+        (root / pkg / "__init__.py").write_text("")
+    (root / "sim" / "bad.py").write_text("from repro.core import GPool\n")
+    violations = check_layering.check(root)
+    assert len(violations) == 1
+    assert "back-edge" in violations[0]
+    assert "sim" in violations[0] and "core" in violations[0]
+
+
+def test_equal_rank_siblings_rejected(tmp_path):
+    root = tmp_path / "repro"
+    for pkg in ("workloads", "metrics"):
+        (root / pkg).mkdir(parents=True)
+        (root / pkg / "__init__.py").write_text("")
+    (root / "metrics" / "bad.py").write_text("import repro.workloads.streams\n")
+    violations = check_layering.check(root)
+    assert len(violations) == 1
+    assert "back-edge" in violations[0]
+
+
+def test_downward_import_allowed(tmp_path):
+    root = tmp_path / "repro"
+    for pkg in ("sim", "core"):
+        (root / pkg).mkdir(parents=True)
+        (root / pkg / "__init__.py").write_text("")
+    (root / "core" / "ok.py").write_text(
+        "from repro.sim import Environment\nimport repro.sim.rng\n"
+    )
+    assert check_layering.check(root) == []
+
+
+def test_from_repro_import_subpackage_is_ranked(tmp_path):
+    root = tmp_path / "repro"
+    (root / "sim").mkdir(parents=True)
+    (root / "sim" / "__init__.py").write_text("")
+    (root / "sim" / "bad.py").write_text("from repro import harness\n")
+    violations = check_layering.check(root)
+    assert len(violations) == 1
+    assert "harness" in violations[0]

@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Import-layering lint for the repro package.
+
+The codebase is a strict layer stack (DESIGN.md §12): every package may
+import only packages of *strictly lower* rank (plus itself).  Back-edges
+— a lower layer importing a higher one — are how "the simulator knows
+about the scheduler" bugs start, so CI fails on any.
+
+    rank  layer        may see
+    ----  -----------  ------------------------------------------------
+      1   telemetry    (nothing — the instrument kernel)
+      2   sim          telemetry
+      3   simgpu       sim, telemetry
+      4   cuda         simgpu, ...
+      5   cluster      cuda, ...
+      6   remoting     cluster, ...
+      7   apps         remoting, ...
+      8   workloads    apps, ...
+      8   metrics      apps, ...
+      9   core         remoting, cluster, cuda, ...
+     10   obs          telemetry (analysis layer over the kernel)
+     11   faults       core, apps, ...
+     12   harness      everything
+
+Equal-rank packages (workloads/metrics) are siblings and may not import
+each other.  Run:  python tools/check_layering.py  (exit 1 on violation).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Layer rank of each top-level repro subpackage.  A module in package P
+#: may import repro.Q only when RANK[Q] < RANK[P] (or Q == P).
+RANK = {
+    "telemetry": 1,
+    "sim": 2,
+    "simgpu": 3,
+    "cuda": 4,
+    "cluster": 5,
+    "remoting": 6,
+    "apps": 7,
+    "workloads": 8,
+    "metrics": 8,
+    "core": 9,
+    "obs": 10,
+    "faults": 11,
+    "harness": 12,
+}
+
+REPRO_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def _imported_repro_packages(tree: ast.AST):
+    """Yield (lineno, top-level repro subpackage) for every repro import."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                parts = alias.name.split(".")
+                if parts[0] == "repro" and len(parts) > 1:
+                    yield node.lineno, parts[1]
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative import: stays inside its package
+                continue
+            if node.module:
+                parts = node.module.split(".")
+                if parts[0] == "repro" and len(parts) > 1:
+                    yield node.lineno, parts[1]
+                elif parts == ["repro"]:
+                    # ``from repro import X``: X may be a subpackage.
+                    for alias in node.names:
+                        if alias.name in RANK:
+                            yield node.lineno, alias.name
+
+
+def check(root: Path = REPRO_ROOT):
+    """Return a list of human-readable violation strings."""
+    violations = []
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root)
+        package = rel.parts[0] if len(rel.parts) > 1 else None
+        if package is None or package not in RANK:
+            # Top-level modules (repro/__init__.py) may import anything.
+            continue
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for lineno, target in _imported_repro_packages(tree):
+            if target == package:
+                continue
+            if target not in RANK:
+                violations.append(
+                    f"{path}:{lineno}: import of unranked package repro.{target}"
+                    " (add it to RANK in tools/check_layering.py)"
+                )
+            elif RANK[target] >= RANK[package]:
+                violations.append(
+                    f"{path}:{lineno}: back-edge: {package} (rank "
+                    f"{RANK[package]}) imports repro.{target} (rank "
+                    f"{RANK[target]}) — layers may only import strictly "
+                    "lower ranks"
+                )
+    return violations
+
+
+def main() -> int:
+    violations = check()
+    if violations:
+        print(f"layering lint: {len(violations)} violation(s)")
+        for v in violations:
+            print(f"  {v}")
+        return 1
+    print("layering lint: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
