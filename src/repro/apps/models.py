@@ -25,6 +25,23 @@ from repro.remoting.session import GpuSession
 
 _req_ids = itertools.count(1)
 
+#: Per-app span name/track strings, built once instead of per request
+#: (the f-strings showed up in the full-registry overhead bench).
+_span_names: dict = {}
+
+#: Per-app completion histogram, cached as ``(telemetry, hist)`` so the
+#: registry lookup happens once per (run, app) instead of per request.
+_completion_hists: dict = {}
+
+
+def _names_for(short: str):
+    names = _span_names.get(short)
+    if names is None:
+        names = _span_names[short] = (
+            f"request:{short}", f"app:{short}", f"bind:{short}", f"cpu:{short}",
+        )
+    return names
+
 
 @dataclass(frozen=True)
 class AppSpec:
@@ -156,11 +173,12 @@ def run_request(
 
     tel = env.telemetry
     root = None
+    request_name, track, bind_name, cpu_name = _names_for(spec.short)
     if tel.enabled:
         root = tel.start_span(
-            f"request:{spec.short}",
+            request_name,
             cat="request",
-            track=f"app:{spec.short}",
+            track=track,
             args={"app": spec.short, "rid": rid, "tenant": session.tenant_id},
             start=arrived,
         )
@@ -170,15 +188,13 @@ def run_request(
     yield session.bind(programmed_device)
     if root is not None:
         tel.start_span(
-            f"bind:{spec.short}",
+            bind_name,
             cat="bind",
-            track=f"app:{spec.short}",
+            track=track,
             parent=root,
             args={"app": spec.short, "rid": rid},
             start=bound_at,
         ).finish(env.now)
-    cpu_name = f"cpu:{spec.short}"
-    cpu_track = f"app:{spec.short}"
     cpu_args = {"app": spec.short, "rid": rid}
 
     def _cpu_span(started: float) -> None:
@@ -186,7 +202,7 @@ def run_request(
             tel.start_span(
                 cpu_name,
                 cat="cpu",
-                track=cpu_track,
+                track=track,
                 parent=root,
                 args=cpu_args,
                 start=started,
@@ -217,8 +233,14 @@ def run_request(
     if root is not None:
         root.finish(env.now)
         completion = env.now - arrived
-        tel.histogram("request.completion_s", app=spec.short).observe(completion)
-        gid = getattr(getattr(session, "binding", None), "gid", programmed_device)
+        cached = _completion_hists.get(spec.short)
+        if cached is None or cached[0] is not tel:
+            cached = _completion_hists[spec.short] = (
+                tel, tel.histogram("request.completion_s", app=spec.short)
+            )
+        cached[1].observe(completion)
+        binding = getattr(session, "binding", None)
+        gid = binding.gid if binding is not None else programmed_device
         if root.args is not None:
             # Binding GID, for the critical-path profiler's per-GPU blame.
             root.args["gid"] = gid

@@ -406,13 +406,8 @@ class ManagedSession(GpuSession):
                 PHASE_CATEGORY.get(item.phase.value, "default"),
                 {"app": self.app_name, "phase": item.phase.value},
             )
-        return tel.start_span(
-            meta[0],
-            cat=meta[1],
-            track=self._obs_track,
-            parent=self.root_span,
-            args=meta[2],
-        )
+        # Positional: one span per gated op, the hottest session-side site.
+        return tel.start_span(meta[0], meta[1], self._obs_track, self.root_span, meta[2])
 
     def _hook_completion(
         self, completion: Event, done: Event, account: bool = True, span=None

@@ -11,7 +11,10 @@ import repro.faults as faults
 import repro.obs as obs
 from repro.harness.runner import SCALE_PAPER, SCALE_QUICK
 from repro.obs import (
+    LiveConsole,
     Sampler,
+    SketchHistogram,
+    SpanShardStore,
     Telemetry,
     analyze,
     check_tolerances,
@@ -19,8 +22,11 @@ from repro.obs import (
     metrics_dict,
     parse_slo_spec,
     parse_tolerance_spec,
+    profile_dict,
+    profile_shard_dir,
     render_analysis,
     render_diff,
+    slo_violation_predicate,
     summary_table,
     write_chrome_trace,
     write_html_report,
@@ -115,6 +121,42 @@ def main(argv=None) -> int:
         help="write final metrics in Prometheus text exposition to PATH",
     )
     parser.add_argument(
+        "--stream-dir",
+        metavar="DIR",
+        default=None,
+        help="streaming mode (ISSUE 6): flush finished request spans to "
+        "rotating JSONL shard files under DIR instead of retaining every "
+        "span in memory, and swap quantile sketches in behind histograms "
+        "(bounded-memory 1e5-1e6-request runs; --trace/--analyze/--report "
+        "read the retained+flushed union)",
+    )
+    parser.add_argument(
+        "--span-buffer",
+        metavar="N",
+        type=int,
+        default=10_000,
+        help="streaming mode: spans buffered between shard flushes "
+        "(flushes also happen on every sampler tick; default 10000)",
+    )
+    parser.add_argument(
+        "--live",
+        metavar="SECONDS",
+        nargs="?",
+        type=float,
+        const=1.0,
+        default=None,
+        help="live run console: a periodically rewritten status line "
+        "(completed, goodput, sketch p99, SLO burn, per-GPU util, ETA) "
+        "redrawn at most every SECONDS wall-clock (default 1.0)",
+    )
+    parser.add_argument(
+        "--heartbeat",
+        metavar="PATH",
+        default=None,
+        help="append one machine-readable JSON progress record per live "
+        "console redraw to PATH (implies --live)",
+    )
+    parser.add_argument(
         "--slo",
         metavar="SPEC",
         default=None,
@@ -206,6 +248,12 @@ def main(argv=None) -> int:
         )
     if args.top_k <= 0:
         parser.error(f"--top-k must be > 0, got {args.top_k}")
+    if args.span_buffer < 1:
+        parser.error(f"--span-buffer must be >= 1, got {args.span_buffer}")
+    if args.live is not None and args.live <= 0:
+        parser.error(f"--live interval must be > 0 wall-seconds, got {args.live}")
+    if args.heartbeat is not None and args.live is None:
+        args.live = 1.0
 
     tolerances = None
     if args.tolerance is not None:
@@ -222,8 +270,30 @@ def main(argv=None) -> int:
 
     # -- offline tools: no simulation, just saved-run post-processing ------
     if args.experiment == "analyze":
+        if args.run is None and args.stream_dir is not None:
+            # Offline shard-dir analysis: profile the stream directly
+            # from its JSONL shards, no registry or metrics export needed.
+            import os
+
+            if not os.path.isdir(args.stream_dir):
+                parser.error(f"--stream-dir: {args.stream_dir} is not a directory")
+            profile = profile_shard_dir(args.stream_dir)
+            if not profile.requests:
+                parser.error(
+                    f"--stream-dir: no finished request spans found under "
+                    f"{args.stream_dir}"
+                )
+            print(
+                render_analysis(
+                    profile_dict(profile, top_k=args.top_k), top_k=args.top_k
+                )
+            )
+            return 0
         if args.run is None:
-            parser.error("analyze requires --run RUN.json (a --metrics-out export)")
+            parser.error(
+                "analyze requires --run RUN.json (a --metrics-out export) "
+                "or --stream-dir DIR (a streaming run's shard directory)"
+            )
         doc = _load_metrics_doc(parser, "--run", args.run)
         analysis = doc.get("analysis")
         if not analysis:
@@ -279,7 +349,7 @@ def main(argv=None) -> int:
         args.prom_out, args.diff_out,
     )
     # Fail on unwritable output paths now, not after the experiments ran.
-    for path in out_paths:
+    for path in out_paths + (args.heartbeat,):
         if path is not None:
             try:
                 with open(path, "a"):
@@ -289,22 +359,54 @@ def main(argv=None) -> int:
 
     # Any observing flag installs a real registry — including --metrics-out
     # on its own, so its summary still carries span-derived p50/p99.
+    streaming = args.stream_dir is not None
+    live = args.live is not None
     observing = (
         any(p is not None for p in out_paths)
         or slo_monitor is not None
         or args.analyze
         or baseline_doc is not None
+        or streaming
+        or live
     )
     tel = obs.install(Telemetry()) if observing else obs.current()
 
-    # The sampler powers the series CSV, report sparklines and windowed
-    # SLO throughput checks; skip it when none of those were asked for.
+    # The sampler powers the series CSV, report sparklines, windowed SLO
+    # throughput checks — and, in streaming/live mode, the shard-flush
+    # and console-redraw ticks; skip it when none of those were asked for.
     if observing and (
         args.report or args.series_out or args.prom_out or slo_monitor
+        or streaming or live
     ):
         tel.sampler = Sampler(interval_s=args.sample_interval)
     if slo_monitor is not None:
         tel.slo = slo_monitor.bind(tel)
+
+    store = None
+    if streaming:
+        try:
+            store = SpanShardStore(
+                args.stream_dir,
+                buffer_limit=args.span_buffer,
+                violation=(
+                    slo_violation_predicate(slo_monitor.targets)
+                    if slo_monitor is not None
+                    else None
+                ),
+            )
+        except OSError as e:
+            parser.error(f"--stream-dir: cannot create {args.stream_dir}: {e}")
+        # Point the registry's span sink at the store and swap in the
+        # mergeable quantile sketch behind Telemetry.histogram(); the
+        # default (non-streaming) path is untouched and byte-identical.
+        tel.spans = store
+        tel._append_span = store.append
+        tel.stream = store
+        tel.histogram_cls = SketchHistogram
+    if live:
+        tel.console = LiveConsole(
+            interval_s=args.live, heartbeat_path=args.heartbeat
+        )
 
     if args.link_gbps is not None or args.link_latency_us is not None:
         network_mod.configure_defaults(
@@ -331,6 +433,20 @@ def main(argv=None) -> int:
                 else:
                     module.main(scale)
             print(f"[{name} done in {sw.elapsed:.1f}s]\n")
+
+        if live:
+            tel.console.close(tel)
+        if store is not None:
+            # Final flush: every completed request group (retained ones
+            # included) lands in the shards, so the directory alone is a
+            # complete record and every exporter below reads the
+            # retained+flushed union through the store.
+            store.close()
+            st = store.stats()
+            print(
+                f"[span stream: {st['spans_flushed']} spans in "
+                f"{st['shards']} shard(s) under {st['directory']}]"
+            )
 
         delta = None
         if baseline_doc is not None:

@@ -213,6 +213,9 @@ def run_stream_experiment(
     # safe here because the run is bounded by the all_of(procs) horizon.
     sampler = getattr(tel, "sampler", None)
     if sampler is not None and tel.sampling:
+        # The arrival horizon lets the live console (ISSUE 6) turn sim
+        # time into a progress fraction and a wall-clock ETA.
+        tel.run_horizon_s = max((s.horizon_s for s in streams), default=0.0)
         sampler.start(env, system)
 
     collected: List[RequestResult] = []

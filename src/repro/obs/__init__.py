@@ -21,7 +21,12 @@ whole stack:
   critical-path profiler (per-request blame vectors, per-phase/GPU/tenant
   aggregates, top-k slowest digest, reconciliation against engine
   accounting), run diffing between exported metrics documents, and the
-  tolerance-spec grammar shared with ``benchmarks/perf_gate.py``.
+  tolerance-spec grammar shared with ``benchmarks/perf_gate.py``;
+* :mod:`repro.obs.stream` — streaming mode (ISSUE 6): the bounded-memory
+  span shard store (JSONL shards + watermark batches + head/tail
+  retention) and the single-pass streaming critical-path profiler;
+* :mod:`repro.obs.console` — the live run console and heartbeat JSONL
+  stream driven by the sampler tick (ISSUE 6).
 
 The **default registry** is a process-wide slot consulted by
 :class:`~repro.sim.core.Environment` when no registry is passed
@@ -42,6 +47,21 @@ from repro.obs.analysis import (
     render_analysis,
     render_diff,
     top_slowest,
+)
+from repro.obs.console import LiveConsole
+from repro.obs.stream import (
+    SpanShardStore,
+    StreamProfiler,
+    iter_disk_batches,
+    profile_shard_dir,
+    profile_stream,
+    slo_violation_predicate,
+)
+from repro.telemetry.sketch import (
+    DEFAULT_RELATIVE_ACCURACY,
+    QuantileSketch,
+    SketchHistogram,
+    merged_quantile,
 )
 from repro.obs.attribution import (
     NULL_ATTRIBUTION,
@@ -103,9 +123,11 @@ def reset() -> None:
 __all__ = [
     "AttributionTable",
     "Counter",
+    "DEFAULT_RELATIVE_ACCURACY",
     "DecisionLog",
     "Gauge",
     "Histogram",
+    "LiveConsole",
     "LogEvent",
     "NULL_ATTRIBUTION",
     "NULL_SERIES",
@@ -116,15 +138,19 @@ __all__ = [
     "SamplingTelemetry",
     "PlacementDecision",
     "PolicySwitch",
+    "QuantileSketch",
     "RequestBlame",
     "RunProfile",
     "Sampler",
     "Series",
+    "SketchHistogram",
     "SloMonitor",
     "SloTarget",
     "SloViolation",
     "Span",
+    "SpanShardStore",
     "Stopwatch",
+    "StreamProfiler",
     "Telemetry",
     "TenantUsage",
     "analyze",
@@ -133,15 +159,20 @@ __all__ = [
     "diff_runs",
     "html_report",
     "install",
+    "iter_disk_batches",
+    "merged_quantile",
     "metrics_dict",
     "parse_slo_spec",
     "parse_tolerance_spec",
     "profile_dict",
     "profile_requests",
+    "profile_shard_dir",
+    "profile_stream",
     "render_analysis",
     "render_diff",
     "reset",
     "series_csv",
+    "slo_violation_predicate",
     "summary_table",
     "top_slowest",
     "to_chrome_trace",

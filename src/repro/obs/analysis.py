@@ -173,6 +173,14 @@ def _descendants(root: Span, by_parent: Dict[int, List[Span]]) -> List[Span]:
 
 def profile_requests(telemetry: Telemetry) -> RunProfile:
     """Critical-path blame for every finished request in the registry."""
+    if hasattr(telemetry.spans, "iter_batches"):
+        # Streaming mode (ISSUE 6): the registry's span store is a shard
+        # store — profile it in one bounded-memory pass over its batches
+        # instead of materialising every span.  Local import: stream.py
+        # builds on this module's sweep/blame machinery.
+        from repro.obs.stream import profile_stream
+
+        return profile_stream(telemetry)
     by_parent: Dict[int, List[Span]] = {}
     span_ids = set()
     for s in telemetry.spans:

@@ -222,9 +222,16 @@ def metrics_dict(telemetry: Telemetry) -> Dict[str, Any]:
             "policy_mix": telemetry.decisions.policy_mix(),
         },
         "spans": len(telemetry.spans),
+        # Per-series retained/dropped sample counts (ISSUE 6 satellite):
+        # ring wrap-around silently sheds history, so the export records
+        # how much was lost instead of pretending the tail is the run.
         "series": {
-            s.series: len(s) for s in telemetry.series.values()
+            s.series: {"points": len(s), "dropped": s.dropped}
+            for s in telemetry.series.values()
         },
+        "series_dropped_samples": sum(
+            s.dropped for s in telemetry.series.values()
+        ),
         "attribution": [
             {
                 "tenant": u.tenant,
@@ -340,7 +347,9 @@ def to_prometheus(telemetry: Telemetry) -> str:
         lines.append(f"{pname}_count{_prom_labels(labels)} {h['count']}")
 
     # Sampled series appear as gauges at their last observed value, so a
-    # scrape of a finished run still carries the end-state of the system.
+    # scrape of a finished run still carries the end-state of the system;
+    # dropped-sample counters expose ring wrap-around per series.
+    dropped_lines: List[str] = []
     for skey in sorted(telemetry.series, key=lambda k: (k[0], k[1])):
         s = telemetry.series[skey]
         point = s.last()
@@ -349,6 +358,15 @@ def to_prometheus(telemetry: Telemetry) -> str:
         pname = _prom_name(s.name)
         type_line(pname, "gauge")
         lines.append(f"{pname}{_prom_labels(s.labels)} {_fmt(point[1])}")
+        if s.dropped:
+            dropped_lines.append(
+                "repro_series_dropped_samples_total"
+                + _prom_labels(s.labels, f'series="{_prom_name(s.name)}"')
+                + f" {s.dropped}"
+            )
+    if dropped_lines:
+        type_line("repro_series_dropped_samples_total", "counter")
+        lines.extend(dropped_lines)
 
     return "\n".join(lines) + "\n" if lines else ""
 
@@ -452,7 +470,27 @@ def summary_table(telemetry: Telemetry) -> str:
     n_series = len(telemetry.series)
     if n_series:
         samples = sum(s.total_appended for s in telemetry.series.values())
-        lines.append(f"time series: {n_series} series, {samples} samples")
+        dropped = sum(s.dropped for s in telemetry.series.values())
+        retained = samples - dropped
+        lines.append(
+            f"time series: {n_series} series, {samples} samples"
+            + (f" ({retained} retained)" if dropped else "")
+        )
+        if dropped:
+            worst = max(telemetry.series.values(), key=lambda s: s.dropped)
+            lines.append(
+                f"WARNING: {dropped} samples dropped to ring wrap-around "
+                f"(worst: {worst.series}, {worst.dropped} lost) — raise the "
+                f"sampler capacity or interval to keep full history"
+            )
+    stream = getattr(telemetry, "stream", None)
+    if stream is not None:
+        st = stream.stats()
+        lines.append(
+            f"span stream: {st['spans_flushed']}/{st['spans_total']} spans "
+            f"flushed to {st['shards']} shard(s) in {st['directory']} "
+            f"({st['retained_groups']} groups retained in memory)"
+        )
     return "\n".join(lines)
 
 

@@ -504,6 +504,29 @@ def html_report(
     parts.extend(_slo_section(telemetry))
     parts.append("</div>")
 
+    # Footer: data-completeness notes (ISSUE 6 satellite) — dropped ring
+    # samples and span-stream shard stats, so a report over partial data
+    # says so instead of looking exhaustive.
+    footer: List[str] = []
+    dropped = sum(s.dropped for s in telemetry.series.values())
+    if dropped:
+        worst = max(telemetry.series.values(), key=lambda s: s.dropped)
+        footer.append(
+            f"&#9888; {dropped} time-series samples dropped to ring "
+            f"wrap-around (worst: {_esc(worst.series)}, {worst.dropped} "
+            f"lost) — sparklines show the retained tail only."
+        )
+    stream = getattr(telemetry, "stream", None)
+    if stream is not None:
+        st = stream.stats()
+        footer.append(
+            f"Span stream: {st['spans_flushed']}/{st['spans_total']} spans "
+            f"flushed to {st['shards']} shard(s) in {_esc(st['directory'])}; "
+            f"{st['retained_groups']} request groups retained in memory."
+        )
+    if footer:
+        parts.append('<p class="note">' + "<br>".join(footer) + "</p>")
+
     parts.append("</body></html>")
     return "\n".join(parts)
 

@@ -75,12 +75,8 @@ class FrontendInterposer:
                     {"app": sess.app_name, "bytes": nbytes},
                 )
             tel.start_span(
-                meta[0],
-                cat=CAT_STAGING,
-                track=sess._obs_track,
-                parent=sess.root_span,
-                args=meta[1],
-                start=staged_at,
+                meta[0], CAT_STAGING, sess._obs_track,
+                sess.root_span, meta[1], staged_at,
             ).finish(env.now)
 
     def __repr__(self) -> str:

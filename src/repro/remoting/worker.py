@@ -106,11 +106,15 @@ class BackendIssueLoop:
 
     def _run(self):
         env = self.env
+        # Both fixed for the env's lifetime (``enabled`` is a class
+        # attribute of the registry, never flipped mid-run) — hoisted
+        # off the per-op path.
+        tel = env.telemetry
+        enabled = tel.enabled
         while True:
             item: IssueItem = yield self._queue.get()
             owner = item.owner
-            tel = env.telemetry
-            if owner is not None and tel.enabled and env.now > item.posted_at:
+            if enabled and owner is not None and env.now > item.posted_at:
                 owner._obs_queue_wait(tel, item)
             if (
                 item.gated
@@ -121,10 +125,10 @@ class BackendIssueLoop:
                 parked_at = env.now
                 yield owner.scheduler.permission(owner.entry, item.phase)
                 owner.entry.issue()
-                if tel.enabled and env.now > parked_at:
+                if enabled and env.now > parked_at:
                     owner._obs_gate_park(tel, item, parked_at)
             op_span = None
-            if owner is not None and tel.enabled:
+            if enabled and owner is not None:
                 op_span = owner._obs_op_span(tel, item)
             try:
                 completion = item.make()

@@ -63,6 +63,9 @@ class SharedComputeEngine:
         self.env = env
         self.spec = spec
         self.tracer = tracer
+        #: The env's registry, cached off the per-kernel path (fixed for
+        #: the env's lifetime; engines are built after the env attaches).
+        self._tel = env.telemetry
         #: Trace-track label; renamed to ``GPU<gid>/SM`` by the gPool.
         self.track = f"gpu:{spec.name}/SM"
         self._running: Dict[int, _RunningKernel] = {}
@@ -107,7 +110,7 @@ class SharedComputeEngine:
             self._busy_since = self.env.now
         if self.tracer is not None:
             self.tracer.begin(("kernel", op.op_id), self.env.now, tag=op.tag)
-        tel = self.env.telemetry
+        tel = self._tel
         if tel.enabled:
             meta = self._span_meta.get((op.tag, op.occupancy))
             if meta is None:
@@ -115,9 +118,9 @@ class SharedComputeEngine:
                     f"kernel:{op.tag}" if op.tag else "kernel",
                     {"app": op.tag, "occupancy": op.occupancy},
                 )
-            entry.span = tel.start_span(
-                meta[0], cat="kernel", track=self.track, args=meta[1]
-            )
+            # Positional call: this and the copy-engine site are the two
+            # hottest span creations (one per device op).
+            entry.span = tel.start_span(meta[0], "kernel", self.track, None, meta[1])
         self._recompute_rates()
         self._kick()
         return entry.done
@@ -233,6 +236,8 @@ class CopyEngine:
         self.spec = spec
         self.label = label
         self.tracer = tracer
+        #: The env's registry, cached off the per-copy path.
+        self._tel = env.telemetry
         #: Trace-track label; renamed to ``GPU<gid>/<LABEL>`` by the gPool.
         self.track = f"gpu:{spec.name}/{label.upper()}"
         self._lane = Resource(env, capacity=1)
@@ -277,7 +282,7 @@ class CopyEngine:
             duration = op.solo_time(self.spec) + self.spec.copy_latency_s
             if self.tracer is not None:
                 self.tracer.begin(("copy", op.op_id), start, tag=op.tag or self.label)
-            tel = env.telemetry
+            tel = self._tel
             span = None
             if tel.enabled:
                 meta = self._span_meta.get((op.tag, op.nbytes))
@@ -286,9 +291,7 @@ class CopyEngine:
                         f"{self.label}:{op.tag}" if op.tag else self.label,
                         {"app": op.tag, "bytes": op.nbytes},
                     )
-                span = tel.start_span(
-                    meta[0], cat="copy", track=self.track, args=meta[1]
-                )
+                span = tel.start_span(meta[0], "copy", self.track, None, meta[1])
             yield env.timeout(duration)
             if self.tracer is not None:
                 self.tracer.end(("copy", op.op_id), env.now)

@@ -65,6 +65,12 @@ from repro.telemetry.instruments import (
     Telemetry,
     format_series_name,
 )
+from repro.telemetry.sketch import (
+    DEFAULT_RELATIVE_ACCURACY,
+    QuantileSketch,
+    SketchHistogram,
+    merged_quantile,
+)
 from repro.telemetry.timeseries import NULL_SERIES, Sampler, Series
 
 _default: Telemetry = NULL_TELEMETRY
@@ -99,6 +105,7 @@ __all__ = [
     "CAT_REQUEST",
     "CAT_STAGING",
     "Counter",
+    "DEFAULT_RELATIVE_ACCURACY",
     "DecisionLog",
     "Gauge",
     "Histogram",
@@ -112,10 +119,12 @@ __all__ = [
     "PHASE_CATEGORY",
     "PlacementDecision",
     "PolicySwitch",
+    "QuantileSketch",
     "REQUEST_PHASES",
     "Sampler",
     "SamplingTelemetry",
     "Series",
+    "SketchHistogram",
     "Span",
     "Stopwatch",
     "Telemetry",
@@ -123,5 +132,6 @@ __all__ = [
     "current",
     "format_series_name",
     "install",
+    "merged_quantile",
     "reset",
 ]

@@ -24,7 +24,7 @@ from __future__ import annotations
 import itertools
 import math
 import time
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.telemetry.attribution import NULL_ATTRIBUTION, AttributionTable
 from repro.telemetry.decisions import NULL_DECISION_LOG, DecisionLog
@@ -149,7 +149,16 @@ class Histogram:
         return [(self.BASE * 2.0**i, n) for i, n in sorted(self.buckets.items())]
 
     def quantile(self, q: float) -> float:
-        """Approximate q-quantile (upper bound of the covering bucket)."""
+        """Approximate q-quantile, linearly interpolated within the
+        covering bucket.
+
+        The pre-ISSUE-6 behaviour returned the bucket's *upper bound*,
+        which overstates quantiles by up to 2x on these octave-wide
+        buckets; interpolating between the bucket's lower and upper
+        bound by the target rank's position inside it is unbiased for
+        uniformly spread samples.  The result is clamped to the exact
+        observed ``[min, max]``.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"q must be in [0, 1], got {q}")
         if self.count == 0:
@@ -159,9 +168,11 @@ class Histogram:
         if seen >= target:
             return 0.0
         for bound, n in self.bucket_bounds():
+            if seen + n >= target:
+                lower = bound / 2.0  # octave buckets: lower edge = upper / 2
+                v = lower + (bound - lower) * ((target - seen) / n)
+                return min(max(v, self.min), self.max)
             seen += n
-            if seen >= target:
-                return min(bound, self.max)
         return self.max
 
     @property
@@ -244,6 +255,16 @@ class Stopwatch:
             self._hist.observe(self.elapsed)
 
 
+class _DetachedClock:
+    """Stand-in environment before any run attaches: the clock reads 0."""
+
+    __slots__ = ()
+    now = 0.0
+
+
+_DETACHED_CLOCK = _DetachedClock()
+
+
 class Telemetry:
     """The per-run observability registry.
 
@@ -259,6 +280,13 @@ class Telemetry:
 
     enabled = True
     sampling = True
+
+    #: Concrete class behind :meth:`histogram`.  Streaming mode swaps in
+    #: :class:`repro.telemetry.sketch.SketchHistogram` (per instance) so
+    #: every latency histogram becomes a mergeable relative-error sketch
+    #: without touching any callsite; the default stays the exact
+    #: log2-bucket Histogram so non-streaming runs are byte-identical.
+    histogram_cls = Histogram
 
     def __init__(self) -> None:
         self._instruments: Dict[Tuple[type, InstrumentKey], Any] = {}
@@ -286,25 +314,32 @@ class Telemetry:
         self.sft_state: Dict[str, Any] = {}
         self.run_id = 0
         self.run_label = ""
-        self._clock: Callable[[], float] = lambda: 0.0
+        self._env = _DETACHED_CLOCK
 
     # -- run scoping -------------------------------------------------------
 
     def attach(self, env) -> None:
-        """Bind the simulated clock of a new run (one per Environment)."""
+        """Bind the simulated clock of a new run (one per Environment).
+
+        The environment itself is kept (not a closure over it): reading
+        ``env.now`` directly saves a lambda frame on the span hot path.
+        """
         self.run_id += 1
-        self._clock = lambda: env.now
+        self._env = env
 
     @property
     def now(self) -> float:
         """Current simulated time of the attached run."""
-        return self._clock()
+        return self._env.now
 
     # -- instrument factories ----------------------------------------------
 
     def _get(self, cls, name: str, labels: Dict[str, Any]):
+        # The label-key tuple is built once, up front, and reused for both
+        # the fast-path probe and (via its tail) the canonical key, so the
+        # hot path does a single tuple allocation + one dict probe.
+        fast = (cls, name, *labels.items())
         try:
-            fast = (cls, name, *labels.items())
             inst = self._fast.get(fast)
         except TypeError:  # unhashable label value: canonical path only
             fast = None
@@ -327,7 +362,7 @@ class Telemetry:
         return self._get(Gauge, name, labels)
 
     def histogram(self, name: str, **labels: Any) -> Histogram:
-        return self._get(Histogram, name, labels)
+        return self._get(self.histogram_cls, name, labels)
 
     def register(self, instrument) -> None:
         """Adopt an externally created instrument into metric exports."""
@@ -372,7 +407,7 @@ class Telemetry:
         sp.name = name
         sp.cat = cat
         sp.track = track
-        sp.start = self._clock() if start is None else start
+        sp.start = self._env.now if start is None else start
         sp.end = None
         sp.parent_id = parent.span_id if parent is not None else None
         sp.args = args

@@ -48,9 +48,13 @@ class Series:
 
     def append(self, t: float, value: float) -> None:
         """Record one sample (overwrites the oldest when full)."""
-        self._t[self._head] = t
-        self._v[self._head] = value
-        self._head = (self._head + 1) % self.capacity
+        head = self._head
+        self._t[head] = t
+        self._v[head] = value
+        head += 1
+        # Branch instead of modulo: appends dominate the sampler tick and
+        # the wrap happens once per `capacity` appends.
+        self._head = 0 if head == self.capacity else head
         if self._size < self.capacity:
             self._size += 1
         self.total_appended += 1
@@ -207,25 +211,33 @@ class Sampler:
         def ts(name, **labels):
             return tel.timeseries(name, capacity=self.capacity, run=run, **labels)
 
-        # Resolve every Series handle once: the label-keyed registry lookup
-        # is ~2/3 of the per-tick cost, and the handle set is fixed for the
-        # lifetime of the run (devices and schedulers don't come or go).
-        per_gid = {
-            gid: {
-                "util": ts("gpu.util", gid=gid),
-                "active": ts("gpu.active", gid=gid),
-                "copy_queue": ts("gpu.copy_queue", gid=gid),
-            }
-            for gid in devices
-        }
-        for gid in devices:
-            if gid in schedulers:
-                per_gid[gid]["rcb_live"] = ts("gpu.rcb_live", gid=gid)
-                per_gid[gid]["signal_rate"] = ts("gpu.signal_rate", gid=gid)
-            if dst is not None:
-                per_gid[gid]["dst_load"] = ts("dst.load", gid=gid)
-                per_gid[gid]["dst_est"] = ts("dst.est_load_s", gid=gid)
-                per_gid[gid]["dst_weight"] = ts("dst.weight", gid=gid)
+        # Resolve everything the tick touches once, up front — Series
+        # handles (the label-keyed registry lookup is ~2/3 of the naive
+        # per-tick cost), their bound ``append`` methods, engine/gate/DST
+        # row objects (all stable for the lifetime of the run, exactly
+        # like the hoisted ``devices`` map) — into one flat tuple per
+        # GID, so the tick body is pure local-variable calls with no
+        # dict probes or attribute chases.
+        rows = []
+        for gid, dev in devices.items():
+            sched = schedulers.get(gid)
+            dst_row = dst.row(gid) if dst is not None else None
+            rows.append((
+                dev.compute,
+                dev.h2d_engine,
+                dev.d2h_engine,
+                ts("gpu.util", gid=gid).append,
+                ts("gpu.active", gid=gid).append,
+                ts("gpu.copy_queue", gid=gid).append,
+                sched.rcb if sched is not None else None,
+                sched.gate if sched is not None else None,
+                ts("gpu.rcb_live", gid=gid).append if sched is not None else None,
+                ts("gpu.signal_rate", gid=gid).append if sched is not None else None,
+                dst_row,
+                ts("dst.load", gid=gid).append if dst_row is not None else None,
+                ts("dst.est_load_s", gid=gid).append if dst_row is not None else None,
+                ts("dst.weight", gid=gid).append if dst_row is not None else None,
+            ))
         if sft is not None:
             sft_rows_s, sft_updates_s = ts("sft.rows"), ts("sft.updates")
         if policy is not None and not hasattr(policy, "decision_mix"):
@@ -233,10 +245,17 @@ class Sampler:
         if policy is not None:
             fallback_s, feedback_s = ts("policy.fallback"), ts("policy.feedback")
 
-        prev_busy = {gid: dev.compute.busy_seconds() for gid, dev in devices.items()}
-        prev_signals = {
-            gid: schedulers[gid].gate.signals for gid in devices if gid in schedulers
-        }
+        # Streaming-pipeline hooks (ISSUE 6), duck-typed so this bottom
+        # layer never imports repro.obs: the harness attaches a span
+        # shard store (``tel.stream``) whose buffer is flushed on every
+        # tick, and a live console (``tel.console``) redrawn on every
+        # tick.  Both stay None on non-streaming runs.
+        stream_flush = getattr(getattr(tel, "stream", None), "flush", None)
+        console_tick = getattr(getattr(tel, "console", None), "tick", None)
+
+        prev_busy = [r[0].busy_seconds() for r in rows]
+        prev_signals = [r[7].signals if r[7] is not None else 0 for r in rows]
+        sft_seen = None  # (rows, folds) of the last stored SFT snapshot
         last = env.now
         while True:
             yield env.timeout(self.interval_s)
@@ -244,33 +263,33 @@ class Sampler:
             dt = now - last
             last = now
             self.ticks += 1
-            for gid, dev in devices.items():
-                series = per_gid[gid]
-                busy = dev.compute.busy_seconds()
-                series["util"].append(now, min(1.0, (busy - prev_busy[gid]) / dt))
-                prev_busy[gid] = busy
-                series["active"].append(now, dev.compute.active_count)
-                queue = dev.h2d_engine.queued
-                if dev.d2h_engine is not dev.h2d_engine:
-                    queue += dev.d2h_engine.queued
-                series["copy_queue"].append(now, queue)
-                sched = schedulers.get(gid)
-                if sched is not None:
-                    series["rcb_live"].append(now, len(sched.rcb))
-                    signals = sched.gate.signals
-                    series["signal_rate"].append(
-                        now, (signals - prev_signals[gid]) / dt
-                    )
-                    prev_signals[gid] = signals
-                if dst is not None:
-                    row = dst.row(gid)
-                    series["dst_load"].append(now, row.device_load)
-                    series["dst_est"].append(now, row.estimated_load_s)
-                    series["dst_weight"].append(now, row.weight)
+            for i, (compute, h2d, d2h, util_a, active_a, copyq_a,
+                    rcb, gate, rcb_a, signal_a,
+                    dst_row, load_a, est_a, weight_a) in enumerate(rows):
+                busy = compute.busy_seconds()
+                util_a(now, min(1.0, (busy - prev_busy[i]) / dt))
+                prev_busy[i] = busy
+                active_a(now, compute.active_count)
+                queue = h2d.queued
+                if d2h is not h2d:
+                    queue += d2h.queued
+                copyq_a(now, queue)
+                if gate is not None:
+                    rcb_a(now, len(rcb))
+                    signals = gate.signals
+                    signal_a(now, (signals - prev_signals[i]) / dt)
+                    prev_signals[i] = signals
+                if dst_row is not None:
+                    load_a(now, dst_row.device_load)
+                    est_a(now, dst_row.estimated_load_s)
+                    weight_a(now, dst_row.weight)
             if sft is not None:
                 sft_rows_s.append(now, len(sft))
                 sft_updates_s.append(now, sft.updates)
-                tel.sft_state[run] = sft.snapshot()
+                key = (len(sft), sft.updates)
+                if key != sft_seen:  # re-snapshot only when the SFT moved
+                    tel.sft_state[run] = sft.snapshot()
+                    sft_seen = key
             if policy is not None:
                 mix = policy.decision_mix()
                 if mix:
@@ -278,6 +297,10 @@ class Sampler:
                     feedback_s.append(now, mix.get("feedback", 0))
             if tel.slo is not None:
                 tel.slo.tick(now)
+            if stream_flush is not None:
+                stream_flush(now)
+            if console_tick is not None:
+                console_tick(now, tel)
 
 
 __all__ = ["NULL_SERIES", "Sampler", "Series"]

@@ -171,3 +171,45 @@ def test_cli_diff_against_flags_regression(capsys, tmp_path):
         "--diff-against", str(metrics), "--tolerance", "total_s=0.01",
     ]) == 1
     assert "tolerance check FAILED" in capsys.readouterr().out
+
+
+def test_cli_streaming_run_and_offline_analyze(capsys, tmp_path):
+    """fig2 --stream-dir: spans shard to disk, exporters read the union,
+    and the analyze tool profiles the shard dir offline (ISSUE 6)."""
+    stream = tmp_path / "shards"
+    hb = tmp_path / "hb.jsonl"
+    metrics = tmp_path / "run.json"
+    assert main([
+        "fig2", "--scale", "quick",
+        "--stream-dir", str(stream), "--span-buffer", "64",
+        "--live", "0.01", "--heartbeat", str(hb),
+        "--metrics-out", str(metrics), "--analyze",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "span stream:" in out
+    assert "critical-path blame" in out
+    shards = list(stream.glob("spans-*.jsonl"))
+    assert shards, "no shard files written"
+
+    import json
+
+    records = [json.loads(line) for line in hb.read_text().splitlines()]
+    assert records and all("completed" in r for r in records)
+    doc = json.loads(metrics.read_text())
+    assert doc["analysis"]["requests"] > 0
+    assert doc["spans"] > 0
+
+    assert main(["analyze", "--stream-dir", str(stream)]) == 0
+    assert "per-phase blame" in capsys.readouterr().out
+
+
+def test_cli_streaming_flag_validation(capsys, tmp_path):
+    with pytest.raises(SystemExit):
+        main(["fig1", "--span-buffer", "0", "--stream-dir", str(tmp_path / "s")])
+    assert "--span-buffer" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        main(["fig1", "--live", "0"])
+    assert "--live" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        main(["analyze", "--stream-dir", str(tmp_path / "missing")])
+    assert "--stream-dir" in capsys.readouterr().err

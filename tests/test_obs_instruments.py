@@ -77,6 +77,27 @@ def test_histogram_stats_and_quantiles():
         h.quantile(1.5)
 
 
+def test_histogram_quantile_interpolates_within_bucket():
+    """Regression (ISSUE 6 satellite): quantiles interpolate linearly
+    inside the covering octave bucket instead of snapping to its upper
+    bound, which overstated mid-bucket quantiles by up to 2x."""
+    tel = Telemetry()
+    h = tel.histogram("lat")
+    for v in (1.2, 1.4, 3.0):
+        h.observe(v)
+    # 1.2 and 1.4 share the (2^30ns, 2^31ns] bucket; q=0.5 lands 1.5
+    # samples deep into its 2 samples: lower + 0.75 * width, exactly.
+    bound = 1e-9 * 2 ** 31
+    assert h.quantile(0.5) == pytest.approx(bound / 2 + (bound / 2) * 0.75)
+    assert h.quantile(0.5) < bound  # the old behaviour returned `bound`
+    # Extremes clamp to the observed min/max, as before.
+    assert h.quantile(0.0) == 0.0
+    assert h.quantile(1.0) == pytest.approx(3.0)
+    # Monotone in q.
+    qs = [h.quantile(q / 20) for q in range(21)]
+    assert qs == sorted(qs)
+
+
 def test_histogram_zero_samples():
     tel = Telemetry()
     h = tel.histogram("lat")
