@@ -1,0 +1,132 @@
+"""Production-scale traffic smoke bench (ISSUE 8 CI gate).
+
+Drives a seeded >=10^4-request, >=1000-tenant churned traffic scenario
+through the open-loop runner in streaming-telemetry mode and asserts
+
+* **scale**: the generated scenario actually offers >= 10^4 requests
+  drawn from >= 1000 distinct tenant identities, with churn aborting a
+  nonzero share mid-flight;
+* **bounded memory**: the tracemalloc peak over the whole run (traffic
+  generation + simulation + streaming telemetry) stays under a fixed
+  ceiling that retaining the run's requests/spans in memory would blow;
+* **byte-stable determinism**: a second run of the identical seed
+  reproduces offered/completed/aborted counts and goodput to 9 decimals.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/scale_smoke.py [--traffic SPEC]
+
+Exit status 1 on any violated gate (consumed by the CI obs-smoke job).
+"""
+
+import argparse
+import os
+import sys
+import tempfile
+import tracemalloc
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+#: Pinned scenario: nominal 10,500 requests over 1,200 churned tenants,
+#: offered just under the supernode's ~30 rps capacity for this mix so
+#: queues (and the runner's working set) stay bounded.
+TRAFFIC = (
+    "poisson:rate=25,tenants=1200,churn=exp:60,duration=420,"
+    "apps=GA*4+SN*2+BS,nodes=2"
+)
+SEED = 42
+
+#: Peak traced allocation for the streamed run.  Measured ~29 MB on the
+#: pinned scenario (imports + active-session window + stream buffers);
+#: before the open-loop retention fixes (busy-interval tracer, span-meta
+#: memo, unfinished abort span groups, unbounded decision log) the same
+#: run peaked at ~126 MB, which this ceiling must keep failing.
+MEMORY_CEILING_BYTES = 40 * 1024 * 1024
+
+
+def run_once(stream_dir):
+    from repro.cluster import build_paper_supernode
+    from repro.obs import Sampler, SketchHistogram, SpanShardStore, Telemetry
+    from repro.traffic import TrafficGenerator, parse_traffic_spec
+    from repro.harness.runner import run_open_loop_experiment, system_factories
+
+    gen = TrafficGenerator(parse_traffic_spec(TRAFFIC), seed=SEED)
+    tel = Telemetry()
+    tel.sampler = Sampler(interval_s=1.0)
+    store = SpanShardStore(stream_dir, buffer_limit=4096)
+    tel.spans = store
+    tel._append_span = store.append
+    tel.stream = store
+    tel.histogram_cls = SketchHistogram
+    res = run_open_loop_experiment(
+        system_factories()["GMin-Strings"],
+        gen,
+        build_paper_supernode,
+        label="scale-smoke",
+        telemetry=tel,
+    )
+    store.close()
+    return res, store.stats(), gen
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.parse_args(argv)
+
+    failures = []
+    workdir = tempfile.mkdtemp(prefix="scale-smoke-")
+
+    # Run 1 under tracemalloc: the memory gate covers generation, the
+    # open-loop simulation and the streaming telemetry pipeline.
+    tracemalloc.start()
+    res, stats, gen = run_once(os.path.join(workdir, "run1"))
+    _current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    tenants = {s.tenant_id for s in gen.sessions()}
+    print(
+        f"[scale-smoke] offered={res.offered} completed={res.completed} "
+        f"aborted={res.aborted} tenants={len(tenants)} "
+        f"goodput={res.goodput_rps:.3f} rps wall={res.wall_time_s:.1f}s "
+        f"peak={peak / 1e6:.1f} MB spans={stats['spans_flushed']}"
+    )
+
+    if res.offered < 10_000:
+        failures.append(f"offered {res.offered} requests, need >= 10000")
+    if len(tenants) < 1000:
+        failures.append(f"{len(tenants)} distinct tenants, need >= 1000")
+    if res.aborted == 0:
+        failures.append("no churn aborts — the scenario must churn mid-flight")
+    if res.completed == 0:
+        failures.append("no requests completed")
+    if stats["spans_flushed"] == 0:
+        failures.append("streaming mode flushed no spans")
+    if peak > MEMORY_CEILING_BYTES:
+        failures.append(
+            f"tracemalloc peak {peak} B over ceiling {MEMORY_CEILING_BYTES} B"
+        )
+
+    # Run 2, same seed, no tracer: byte-stable goodput and counters.
+    res2, _stats2, _gen2 = run_once(os.path.join(workdir, "run2"))
+    for attr in ("offered", "completed", "aborted", "failed", "sessions"):
+        a, b = getattr(res, attr), getattr(res2, attr)
+        if a != b:
+            failures.append(f"{attr} not reproducible: {a} != {b}")
+    for attr in ("goodput_rps", "latency_sum_s", "sim_time_s"):
+        a, b = round(getattr(res, attr), 9), round(getattr(res2, attr), 9)
+        if a != b:
+            failures.append(f"{attr} not byte-stable: {a!r} != {b!r}")
+
+    if failures:
+        print("scale-smoke FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("scale-smoke: all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -315,6 +315,17 @@ class ManagedSession(GpuSession):
         """Whether the bound GPU shares the frontend's node."""
         return self.transport.local
 
+    @property
+    def aborted(self) -> bool:
+        """True once :meth:`abort` killed this session (fault or churn).
+
+        In-flight work of an aborted session may surface as
+        :class:`~repro.cuda.errors.CudaError` (its worker is torn down
+        underneath it) rather than the abort exception itself; callers
+        use this flag to attribute such failures to the abort.
+        """
+        return self._aborted is not None
+
     # -- plumbing provided by the owning system -----------------------------
 
     def _make_worker(self, gid: int) -> CudaThread:

@@ -325,6 +325,13 @@ class CudaThread:
                 pass
         self._allocations.clear()
         self._exited = True
+        # Exited threads hold no runtime state and no caller enumerates
+        # them; dropping the back-reference keeps a long-lived process
+        # from accumulating one record per short-lived session.
+        try:
+            self.process.threads.remove(self)
+        except ValueError:  # pragma: no cover - already pruned
+            pass
 
     @property
     def exited(self) -> bool:

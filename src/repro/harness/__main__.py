@@ -9,6 +9,7 @@ import sys
 import repro.cluster.network as network_mod
 import repro.faults as faults
 import repro.obs as obs
+from repro.traffic import parse_traffic_spec
 from repro.harness.runner import SCALE_PAPER, SCALE_QUICK
 from repro.obs import (
     LiveConsole,
@@ -41,7 +42,7 @@ EXPERIMENTS = [
 ]
 
 #: Extensions beyond the paper's evaluation (not part of `all`).
-EXTENSIONS = ["scaleout", "ablations", "chaos"]
+EXTENSIONS = ["scaleout", "ablations", "chaos", "scale"]
 
 #: Offline analysis tools over previously exported runs (ISSUE 4).
 TOOLS = ["analyze", "diff"]
@@ -155,6 +156,37 @@ def main(argv=None) -> int:
         default=None,
         help="append one machine-readable JSON progress record per live "
         "console redraw to PATH (implies --live)",
+    )
+    parser.add_argument(
+        "--traffic",
+        metavar="SPEC",
+        default=None,
+        help="generated traffic scenario for the 'scale' extension, e.g. "
+        "'poisson:rate=50,tenants=2000,churn=exp:120' "
+        "(process head poisson/onoff/diurnal plus tenants=/churn=/think=/"
+        "reqs=/duration=/apps=/nodes=/seed= knobs; see repro.traffic)",
+    )
+    parser.add_argument(
+        "--loads",
+        metavar="CSV",
+        default=None,
+        help="load multipliers the 'scale' extension sweeps over the "
+        "scenario's offered rate (default 0.25,0.5,0.75,1,1.25,1.5,2; "
+        "quick scale: 0.5,1,2)",
+    )
+    parser.add_argument(
+        "--scale-out",
+        metavar="PATH",
+        default=None,
+        help="write the 'scale' sweep (per-point goodput/latency/SLO burn "
+        "plus the detected knee) as JSON to PATH",
+    )
+    parser.add_argument(
+        "--scale-report",
+        metavar="PATH",
+        default=None,
+        help="write a self-contained HTML card of the 'scale' sweep "
+        "(goodput-vs-offered plot with knee marker) to PATH",
     )
     parser.add_argument(
         "--slo",
@@ -344,18 +376,86 @@ def main(argv=None) -> int:
         except ValueError as e:
             parser.error(f"--faults: {e}")
 
+    # --traffic / --loads drive the 'scale' extension only; validate them
+    # up front (mirroring --slo/--faults) so a typo fails in milliseconds.
+    scale_flags = {
+        "--traffic": args.traffic, "--loads": args.loads,
+        "--scale-out": args.scale_out, "--scale-report": args.scale_report,
+    }
+    for flag, value in scale_flags.items():
+        if value is not None and args.experiment != "scale":
+            parser.error(f"{flag} only applies to the 'scale' extension")
+    if args.traffic is not None:
+        try:
+            parse_traffic_spec(args.traffic)
+        except ValueError as e:
+            parser.error(f"--traffic: {e}")
+    loads = None
+    if args.loads is not None:
+        try:
+            loads = tuple(
+                float(tok) for tok in args.loads.split(",") if tok.strip()
+            )
+        except ValueError:
+            parser.error(
+                f"--loads: multipliers must be numbers, got {args.loads!r}"
+            )
+        if not loads:
+            parser.error("--loads: needs at least one multiplier")
+        if any(m <= 0 for m in loads):
+            parser.error(f"--loads: multipliers must be > 0, got {args.loads!r}")
+
     out_paths = (
         args.trace, args.metrics_out, args.report, args.series_out,
         args.prom_out, args.diff_out,
     )
     # Fail on unwritable output paths now, not after the experiments ran.
-    for path in out_paths + (args.heartbeat,):
+    for path in out_paths + (args.heartbeat, args.scale_out, args.scale_report):
         if path is not None:
             try:
                 with open(path, "a"):
                     pass
             except OSError as e:
                 parser.error(f"cannot write {path}: {e}")
+
+    # -- scale: the load-to-the-knee sweep manages its own per-point
+    # telemetry registries (and per-point --stream-dir subdirectories), so
+    # it dispatches before the process-wide observing registry installs.
+    if args.experiment == "scale":
+        from repro.harness import scale as scale_tool
+
+        if args.link_gbps is not None or args.link_latency_us is not None:
+            network_mod.configure_defaults(
+                latency_s=(
+                    args.link_latency_us * 1e-6
+                    if args.link_latency_us is not None
+                    else None
+                ),
+                bandwidth_gbps=args.link_gbps,
+            )
+        if loads is None:
+            loads = (
+                (0.5, 1.0, 2.0) if args.scale == "quick"
+                else scale_tool.DEFAULT_LOADS
+            )
+        scale_tool.main(
+            traffic=(
+                args.traffic if args.traffic is not None
+                else scale_tool.DEFAULT_TRAFFIC
+            ),
+            loads=loads,
+            system=args.system,
+            seed=scale.seed,
+            stream_dir=args.stream_dir,
+            span_buffer=args.span_buffer,
+            slo=args.slo,
+            live=args.live,
+            sample_interval=args.sample_interval,
+            fault_plan=fault_plan,
+            out_json=args.scale_out,
+            out_html=args.scale_report,
+        )
+        return 0
 
     # Any observing flag installs a real registry — including --metrics-out
     # on its own, so its summary still carries span-derived p50/p99.

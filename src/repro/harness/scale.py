@@ -1,0 +1,423 @@
+"""Load-to-the-knee scale sweep over generated traffic (ISSUE 8).
+
+The paper's figures drive fixed fig-sized request streams; this tool
+answers the capacity question they leave open: *how much offered load
+does a deployment sustain before goodput stops following it?*  It takes
+one ``--traffic`` scenario (see :mod:`repro.traffic`), sweeps the
+offered rate across load multipliers, runs every point open-loop through
+:func:`~repro.harness.runner.run_open_loop_experiment`, and reports
+goodput, latency quantiles and SLO burn per point plus the detected
+*goodput knee* — the last load at which an extra offered request still
+buys at least :data:`KNEE_EFFICIENCY` of a completed one.
+
+Every point runs under its own fresh telemetry registry (points must not
+contaminate each other); with ``--stream-dir`` each point flushes its
+spans to its own ``point-<m>x/`` shard subdirectory, so arbitrarily long
+sweeps stay bounded-memory end to end.
+
+Run::
+
+    python -m repro.harness scale --traffic "poisson:rate=20,tenants=1000,churn=exp:60"
+    python -m repro.harness scale --loads 0.5,1,2 --scale-out knee.json --scale-report knee.html
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster import build_paper_supernode
+from repro.obs import (
+    LiveConsole,
+    Sampler,
+    SketchHistogram,
+    SpanShardStore,
+    Telemetry,
+    parse_slo_spec,
+    slo_violation_predicate,
+)
+from repro.traffic import TrafficGenerator, parse_traffic_spec
+from repro.harness.format import format_table
+from repro.harness.runner import run_open_loop_experiment, system_factories
+
+#: Default scenario: a churned thousand-tenant population over the
+#: cheap end of the catalog.  The supernode sustains ~30 requests/s of
+#: this mix, so the default 0.25-2x sweep brackets the goodput knee;
+#: ``rate=``/``duration=`` overrides reach 10^5+ requests.
+DEFAULT_TRAFFIC = (
+    "poisson:rate=24,tenants=1000,churn=exp:45,duration=90,apps=GA*4+SN*2+BS"
+)
+
+#: Load multipliers swept over the scenario's offered rate.
+DEFAULT_LOADS = (0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0)
+
+#: Marginal goodput per marginal offered request below which the system
+#: is considered past its knee (adding load buys mostly queueing).
+KNEE_EFFICIENCY = 0.5
+
+#: ``--system`` choice -> factory name in :func:`system_factories`.
+SYSTEMS = {
+    "strings": "GMin-Strings",
+    "design2": "GMin-Design2",
+    "rain": "GMin-Rain",
+}
+
+
+def run_point(
+    factory,
+    gen: TrafficGenerator,
+    multiplier: float,
+    stream_dir: Optional[str] = None,
+    span_buffer: int = 10_000,
+    slo: Optional[str] = None,
+    live: Optional[float] = None,
+    sample_interval: float = 1.0,
+    fault_plan=None,
+    prewarm: bool = True,
+) -> Dict[str, object]:
+    """One load point under its own fresh telemetry registry."""
+    scaled = gen.scaled(multiplier)
+    label = f"{multiplier:g}x"
+    tel = Telemetry()
+    tel.sampler = Sampler(interval_s=sample_interval)
+    slo_monitor = parse_slo_spec(slo).bind(tel) if slo is not None else None
+    if slo_monitor is not None:
+        tel.slo = slo_monitor
+
+    store = None
+    if stream_dir is not None:
+        point_dir = os.path.join(stream_dir, f"point-{label}")
+        store = SpanShardStore(
+            point_dir,
+            buffer_limit=span_buffer,
+            violation=(
+                slo_violation_predicate(slo_monitor.targets)
+                if slo_monitor is not None
+                else None
+            ),
+        )
+        tel.spans = store
+        tel._append_span = store.append
+        tel.stream = store
+        tel.histogram_cls = SketchHistogram
+    if live is not None:
+        tel.console = LiveConsole(interval_s=live)
+
+    res = run_open_loop_experiment(
+        factory,
+        scaled,
+        build_paper_supernode,
+        label=label,
+        prewarm=prewarm,
+        telemetry=tel,
+        fault_plan=fault_plan,
+    )
+
+    if live is not None:
+        tel.console.close(tel)
+    if store is not None:
+        store.close()
+
+    point: Dict[str, object] = {
+        "multiplier": multiplier,
+        "offered_rps": scaled.offered_rate_rps,
+        "offered": res.offered,
+        "completed": res.completed,
+        "aborted": res.aborted,
+        "failed": res.failed,
+        "sessions": res.sessions,
+        "churned_sessions": res.churned_sessions,
+        "goodput_rps": res.goodput_rps,
+        "mean_latency_s": res.mean_latency_s,
+        "p50_s": res.latency_quantile(0.50),
+        "p95_s": res.latency_quantile(0.95),
+        "p99_s": res.latency_quantile(0.99),
+        "max_latency_s": res.latency_max_s,
+        "sim_time_s": res.sim_time_s,
+        "wall_time_s": res.wall_time_s,
+    }
+    if slo_monitor is not None:
+        point["slo_violations"] = slo_monitor.total_violations
+        point["slo_max_burn"] = max(
+            (row["max_burn_rate"] for row in slo_monitor.summary()), default=0.0
+        )
+    if res.faults_summary is not None:
+        point["faults"] = res.faults_summary
+    return point
+
+
+def find_knee(
+    points: Sequence[Dict[str, object]], threshold: float = KNEE_EFFICIENCY
+) -> Optional[float]:
+    """Annotate marginal efficiency per point; return the knee multiplier.
+
+    Marginal efficiency of a point is ``d goodput / d offered`` against
+    the previous (lighter) point — the fraction of each extra offered
+    request the system still completes.  The knee is the last point
+    before that fraction first drops under ``threshold``; ``None`` when
+    the very first point is already past it.
+    """
+    knee: Optional[float] = None
+    prev_off = 0.0
+    prev_good = 0.0
+    past_knee = False
+    for p in points:
+        d_off = float(p["offered_rps"]) - prev_off
+        d_good = float(p["goodput_rps"]) - prev_good
+        eff = d_good / d_off if d_off > 0 else 0.0
+        p["marginal_efficiency"] = eff
+        if not past_knee:
+            if eff >= threshold:
+                knee = float(p["multiplier"])
+            else:
+                past_knee = True
+        prev_off = float(p["offered_rps"])
+        prev_good = float(p["goodput_rps"])
+    return knee
+
+
+def run_sweep(
+    traffic: str = DEFAULT_TRAFFIC,
+    loads: Sequence[float] = DEFAULT_LOADS,
+    system: str = "strings",
+    seed: int = 42,
+    stream_dir: Optional[str] = None,
+    span_buffer: int = 10_000,
+    slo: Optional[str] = None,
+    live: Optional[float] = None,
+    sample_interval: float = 1.0,
+    fault_plan=None,
+    prewarm: bool = True,
+    progress=None,
+) -> Dict[str, object]:
+    """Sweep the scenario across ``loads`` and detect the goodput knee."""
+    spec = parse_traffic_spec(traffic)
+    gen = TrafficGenerator(spec, seed=seed)
+    factory = system_factories()[SYSTEMS[system]]
+    points: List[Dict[str, object]] = []
+    for m in sorted(loads):
+        point = run_point(
+            factory,
+            gen,
+            m,
+            stream_dir=stream_dir,
+            span_buffer=span_buffer,
+            slo=slo,
+            live=live,
+            sample_interval=sample_interval,
+            fault_plan=fault_plan,
+            prewarm=prewarm,
+        )
+        points.append(point)
+        if progress is not None:
+            progress(point)
+    knee = find_knee(points)
+    doc: Dict[str, object] = {
+        "tool": "scale",
+        "traffic": spec.canonical(),
+        "system": SYSTEMS[system],
+        "seed": gen.seed,
+        "loads": [float(m) for m in sorted(loads)],
+        "knee_multiplier": knee,
+        "knee_offered_rps": (
+            next(
+                float(p["offered_rps"])
+                for p in points
+                if float(p["multiplier"]) == knee
+            )
+            if knee is not None
+            else None
+        ),
+        "points": points,
+    }
+    return doc
+
+
+# --------------------------------------------------------------------------
+# rendering
+# --------------------------------------------------------------------------
+
+
+def format_sweep(doc: Dict[str, object]) -> str:
+    """The sweep as an aligned plain-text table."""
+    has_slo = any("slo_violations" in p for p in doc["points"])
+    headers = [
+        "Load", "Offered rps", "Goodput rps", "MargEff",
+        "Mean lat (s)", "p95 (s)", "p99 (s)", "Aborted",
+    ]
+    if has_slo:
+        headers += ["SLO viol", "Max burn"]
+    rows = []
+    for p in doc["points"]:
+        mark = "*" if p["multiplier"] == doc["knee_multiplier"] else " "
+        row = [
+            f"{p['multiplier']:g}x{mark}",
+            p["offered_rps"],
+            p["goodput_rps"],
+            p["marginal_efficiency"],
+            p["mean_latency_s"],
+            p["p95_s"],
+            p["p99_s"],
+            p["aborted"],
+        ]
+        if has_slo:
+            row += [p.get("slo_violations", 0), p.get("slo_max_burn", 0.0)]
+        rows.append(row)
+    knee = doc["knee_multiplier"]
+    knee_txt = (
+        f"knee at {knee:g}x ({doc['knee_offered_rps']:.1f} offered rps)"
+        if knee is not None
+        else "knee below the lightest load point"
+    )
+    return format_table(
+        headers,
+        rows,
+        title=(
+            f"Scale sweep — {doc['system']} under '{doc['traffic']}' "
+            f"(seed {doc['seed']}): {knee_txt}"
+        ),
+    )
+
+
+def write_scale_card(doc: Dict[str, object], path: str) -> None:
+    """A small self-contained HTML card: sweep table + goodput-knee SVG."""
+    points = doc["points"]
+    xs = [float(p["offered_rps"]) for p in points]
+    ys = [float(p["goodput_rps"]) for p in points]
+    x_max = max(xs) if xs else 1.0
+    y_max = (max(ys) if ys else 1.0) or 1.0
+    w, h, pad = 460, 240, 36
+
+    def sx(x: float) -> float:
+        return pad + (w - 2 * pad) * (x / x_max if x_max else 0.0)
+
+    def sy(y: float) -> float:
+        return h - pad - (h - 2 * pad) * (y / y_max if y_max else 0.0)
+
+    poly = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in zip(xs, ys))
+    # The y = x ideal (every offered request completed), clipped to view.
+    ideal_x = min(x_max, y_max)
+    knee = doc["knee_multiplier"]
+    knee_svg = ""
+    if knee is not None:
+        kx = float(doc["knee_offered_rps"])
+        ky = next(
+            float(p["goodput_rps"]) for p in points if float(p["multiplier"]) == knee
+        )
+        knee_svg = (
+            f'<circle cx="{sx(kx):.1f}" cy="{sy(ky):.1f}" r="5" fill="#c0392b"/>'
+            f'<text x="{sx(kx) + 8:.1f}" y="{sy(ky) - 8:.1f}" font-size="11" '
+            f'fill="#c0392b">knee {knee:g}x</text>'
+        )
+    rows_html = "".join(
+        "<tr>"
+        + "".join(
+            f"<td>{cell}</td>"
+            for cell in (
+                f"{p['multiplier']:g}x",
+                f"{p['offered_rps']:.1f}",
+                f"{p['goodput_rps']:.2f}",
+                f"{p['marginal_efficiency']:.2f}",
+                f"{p['mean_latency_s']:.2f}",
+                f"{p['p95_s']:.2f}",
+                f"{p['p99_s']:.2f}",
+                p["aborted"],
+                p.get("slo_violations", "-"),
+            )
+        )
+        + "</tr>"
+        for p in points
+    )
+    html = f"""<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>scale sweep — {doc['system']}</title>
+<style>
+body {{ font: 13px/1.4 system-ui, sans-serif; margin: 2em; color: #222; }}
+table {{ border-collapse: collapse; margin-top: 1em; }}
+td, th {{ border: 1px solid #ccc; padding: 3px 8px; text-align: right; }}
+th {{ background: #f4f4f4; }}
+code {{ background: #f4f4f4; padding: 1px 4px; }}
+</style></head><body>
+<h2>Scale sweep — {doc['system']}</h2>
+<p>traffic <code>{doc['traffic']}</code>, seed {doc['seed']}</p>
+<svg width="{w}" height="{h}" style="border:1px solid #ddd">
+<line x1="{sx(0):.1f}" y1="{sy(0):.1f}" x2="{sx(ideal_x):.1f}" y2="{sy(ideal_x):.1f}"
+ stroke="#bbb" stroke-dasharray="4 3"/>
+<polyline points="{poly}" fill="none" stroke="#2980b9" stroke-width="2"/>
+{''.join(f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="3" fill="#2980b9"/>' for x, y in zip(xs, ys))}
+{knee_svg}
+<text x="{w / 2:.0f}" y="{h - 6}" font-size="11" text-anchor="middle">offered rps</text>
+<text x="12" y="{h / 2:.0f}" font-size="11" transform="rotate(-90 12 {h / 2:.0f})"
+ text-anchor="middle">goodput rps</text>
+</svg>
+<table><tr><th>Load</th><th>Offered rps</th><th>Goodput rps</th><th>MargEff</th>
+<th>Mean lat (s)</th><th>p95 (s)</th><th>p99 (s)</th><th>Aborted</th><th>SLO viol</th></tr>
+{rows_html}</table>
+</body></html>
+"""
+    with open(path, "w") as fh:
+        fh.write(html)
+
+
+def main(
+    traffic: str = DEFAULT_TRAFFIC,
+    loads: Sequence[float] = DEFAULT_LOADS,
+    system: str = "strings",
+    seed: int = 42,
+    stream_dir: Optional[str] = None,
+    span_buffer: int = 10_000,
+    slo: Optional[str] = None,
+    live: Optional[float] = None,
+    sample_interval: float = 1.0,
+    fault_plan=None,
+    out_json: Optional[str] = None,
+    out_html: Optional[str] = None,
+) -> Dict[str, object]:
+    """CLI driver: run the sweep, print the table, write artifacts."""
+
+    def progress(point: Dict[str, object]) -> None:
+        print(
+            f"  [{point['multiplier']:g}x] offered {point['offered']} "
+            f"goodput {point['goodput_rps']:.2f} rps "
+            f"mean {point['mean_latency_s']:.2f}s "
+            f"aborted {point['aborted']} "
+            f"({point['wall_time_s']:.1f}s wall)"
+        )
+
+    doc = run_sweep(
+        traffic=traffic,
+        loads=loads,
+        system=system,
+        seed=seed,
+        stream_dir=stream_dir,
+        span_buffer=span_buffer,
+        slo=slo,
+        live=live,
+        sample_interval=sample_interval,
+        fault_plan=fault_plan,
+        progress=progress,
+    )
+    print()
+    print(format_sweep(doc))
+    if out_json is not None:
+        with open(out_json, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+        print(f"[scale sweep written to {out_json}]")
+    if out_html is not None:
+        write_scale_card(doc, out_html)
+        print(f"[scale report written to {out_html}]")
+    return doc
+
+
+__all__ = [
+    "DEFAULT_LOADS",
+    "DEFAULT_TRAFFIC",
+    "KNEE_EFFICIENCY",
+    "SYSTEMS",
+    "find_knee",
+    "format_sweep",
+    "main",
+    "run_point",
+    "run_sweep",
+    "write_scale_card",
+]

@@ -139,10 +139,20 @@ class LiveConsole:
             if point is not None:
                 gpu_util[str(labels.get("gid", "?"))] = point[1]
 
+        # Progress/ETA from the *arrival horizon* in sim time — the only
+        # total a duration-bounded open-loop run knows up front (its
+        # request count is whatever the lazy traffic generates).  Past
+        # the horizon arrivals have stopped but in-flight requests are
+        # still draining: progress pegs at 100% and the wall-clock ETA is
+        # unknowable, so the run is flagged as ``drain`` instead of
+        # advertising ETA 0 while work remains.
         horizon = getattr(tel, "run_horizon_s", 0.0) or 0.0
         progress = min(1.0, now / horizon) if horizon > 0 else None
+        phase = None
+        if progress is not None:
+            phase = "drain" if now >= horizon else "run"
         eta_s = None
-        if progress is not None and progress > 0.0:
+        if phase == "run" and progress >= 1e-3:
             eta_s = wall * (1.0 - progress) / progress
 
         snap: Dict[str, Any] = {
@@ -156,6 +166,7 @@ class LiveConsole:
             "max_burn_rate": round(max_burn, 4),
             "gpu_util": {g: round(u, 4) for g, u in sorted(gpu_util.items())},
             "progress": round(progress, 4) if progress is not None else None,
+            "phase": phase,
             "eta_s": round(eta_s, 1) if eta_s is not None else None,
         }
         stream = getattr(tel, "stream", None)
@@ -191,7 +202,9 @@ class LiveConsole:
         if snap["gpu_util"]:
             utils = " ".join(f"{u:.2f}" for _g, u in sorted(snap["gpu_util"].items()))
             parts.append(f"util {utils}")
-        if snap.get("eta_s") is not None:
+        if snap.get("phase") == "drain":
+            parts.append("drain")
+        elif snap.get("eta_s") is not None:
             parts.append(f"ETA {snap['eta_s']:.0f}s")
         return " | ".join(parts)
 

@@ -36,6 +36,12 @@ from repro.simgpu.trace import BusyTracer
 
 _EPS = 1e-12
 
+#: Ceiling on the per-engine (tag, size) -> span-metadata memo.  Paper
+#: workloads reuse a handful of op shapes so the memo never nears this;
+#: generated open-loop traffic draws near-unique sizes per request, and
+#: without a cap the memo grows O(ops) over an unbounded run.
+_SPAN_META_CAP = 1024
+
 
 @dataclass
 class _RunningKernel:
@@ -114,10 +120,12 @@ class SharedComputeEngine:
         if tel.enabled:
             meta = self._span_meta.get((op.tag, op.occupancy))
             if meta is None:
-                meta = self._span_meta[(op.tag, op.occupancy)] = (
+                meta = (
                     f"kernel:{op.tag}" if op.tag else "kernel",
                     {"app": op.tag, "occupancy": op.occupancy},
                 )
+                if len(self._span_meta) < _SPAN_META_CAP:
+                    self._span_meta[(op.tag, op.occupancy)] = meta
             # Positional call: this and the copy-engine site are the two
             # hottest span creations (one per device op).
             entry.span = tel.start_span(meta[0], "kernel", self.track, None, meta[1])
@@ -287,10 +295,12 @@ class CopyEngine:
             if tel.enabled:
                 meta = self._span_meta.get((op.tag, op.nbytes))
                 if meta is None:
-                    meta = self._span_meta[(op.tag, op.nbytes)] = (
+                    meta = (
                         f"{self.label}:{op.tag}" if op.tag else self.label,
                         {"app": op.tag, "bytes": op.nbytes},
                     )
+                    if len(self._span_meta) < _SPAN_META_CAP:
+                        self._span_meta[(op.tag, op.nbytes)] = meta
                 span = tel.start_span(meta[0], "copy", self.track, None, meta[1])
             yield env.timeout(duration)
             if self.tracer is not None:

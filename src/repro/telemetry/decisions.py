@@ -16,8 +16,9 @@ them as instant events on the trace's scheduler track.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, MutableSequence, Optional
 
 
 @dataclass(frozen=True)
@@ -65,13 +66,25 @@ class PolicySwitch:
 
 
 class DecisionLog:
-    """Append-only record of scheduler decisions, hung off a registry."""
+    """Append-only record of scheduler decisions, hung off a registry.
 
-    def __init__(self, telemetry=None) -> None:
+    ``maxlen`` turns the per-request streams (placements, events) into a
+    sliding window of the most recent records — the bounded-memory mode
+    open-loop runs use, where the run length is unbounded and end-of-run
+    reports only excerpt the log anyway.  Switches stay unbounded: the
+    arbiter fires a handful of times per run, ever.
+    """
+
+    def __init__(self, telemetry=None, maxlen: Optional[int] = None) -> None:
         self._telemetry = telemetry
-        self.placements: List[PlacementDecision] = []
+        self.maxlen = maxlen
+        self.placements: MutableSequence[PlacementDecision] = (
+            deque(maxlen=maxlen) if maxlen is not None else []
+        )
         self.switches: List[PolicySwitch] = []
-        self.events: List[LogEvent] = []
+        self.events: MutableSequence[LogEvent] = (
+            deque(maxlen=maxlen) if maxlen is not None else []
+        )
 
     # -- recording ---------------------------------------------------------
 

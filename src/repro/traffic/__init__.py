@@ -1,0 +1,46 @@
+"""Production-scale open-loop traffic generation (ISSUE 8).
+
+The paper's evaluation drives fig-sized request streams (~18 requests);
+this package turns the repo into a load-testing platform: composable
+seeded arrival processes (stationary Poisson, Markov-modulated ON/OFF
+bursts, sinusoidal diurnal), a tenant population model with churn
+(sessions arrive, issue a few requests, depart — exercising RCB/SFT
+eviction and bind/unbind far beyond the paper's rates), and a compact
+``--traffic`` spec grammar, all generating *lazily* so 10^5-10^6-request
+runs fit in bounded memory alongside the streaming telemetry of
+``repro.obs``.
+
+Layering: above ``workloads`` (it emits
+:class:`~repro.workloads.streams.Request` streams), below ``core`` (the
+harness runner, not this package, drives sessions through a system).
+"""
+
+from repro.traffic.generate import TrafficGenerator
+from repro.traffic.population import (
+    LifetimeDistribution,
+    TenantDeparted,
+    TenantPopulation,
+    TenantSession,
+)
+from repro.traffic.processes import (
+    ArrivalProcess,
+    DiurnalProcess,
+    OnOffProcess,
+    PoissonProcess,
+)
+from repro.traffic.spec import PROCESS_KINDS, TrafficSpec, parse_traffic_spec
+
+__all__ = [
+    "ArrivalProcess",
+    "DiurnalProcess",
+    "LifetimeDistribution",
+    "OnOffProcess",
+    "PROCESS_KINDS",
+    "PoissonProcess",
+    "TenantDeparted",
+    "TenantPopulation",
+    "TenantSession",
+    "TrafficGenerator",
+    "TrafficSpec",
+    "parse_traffic_spec",
+]

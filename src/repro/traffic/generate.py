@@ -1,0 +1,114 @@
+"""Traffic generation: a seeded :class:`TrafficSpec` made executable.
+
+A :class:`TrafficGenerator` binds a spec to a seed and produces
+
+* :meth:`sessions` — the lazy, arrival-ordered stream of
+  :class:`~repro.traffic.population.TenantSession`\\ s the open-loop
+  harness runner drives (re-iterable: every pass replays the identical
+  seeded draw);
+* :meth:`request_stream` — the same traffic flattened into a lazy,
+  arrival-ordered :class:`~repro.workloads.streams.LazyRequestStream`
+  (session requests interleave across sessions, merged with a bounded
+  heap that only ever holds the *overlapping* sessions, never the run).
+
+Generation is O(active sessions) in memory however long the run: 10^5
+to 10^6 requests never materialize as a list.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator
+
+from repro.sim.rng import RandomStream
+from repro.apps.catalog import app_by_short
+from repro.workloads.streams import LazyRequestStream, Request
+from repro.traffic.population import TenantPopulation, TenantSession
+from repro.traffic.spec import TrafficSpec
+
+
+class TrafficGenerator:
+    """A seeded, lazily-evaluated traffic scenario."""
+
+    def __init__(self, spec: TrafficSpec, seed: int = 42) -> None:
+        self.spec = spec
+        #: ``seed=`` in the spec overrides the harness seed.
+        self.seed = spec.seed if spec.seed is not None else seed
+        self.population = TenantPopulation(
+            n_tenants=spec.tenants,
+            apps=[(app_by_short(short), w) for short, w in spec.apps],
+            churn=spec.churn,
+            think_s=spec.think_s,
+            requests_per_session=spec.requests_per_session,
+            n_nodes=spec.nodes,
+        )
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def duration_s(self) -> float:
+        """The arrival horizon (sessions arrive only before this)."""
+        return self.spec.duration_s
+
+    @property
+    def offered_rate_rps(self) -> float:
+        return self.spec.offered_rate_rps
+
+    @property
+    def expected_requests(self) -> int:
+        return self.spec.expected_requests
+
+    def scaled(self, multiplier: float) -> "TrafficGenerator":
+        """The same scenario and seed at ``multiplier`` x the rate."""
+        return TrafficGenerator(self.spec.scaled(multiplier), self.seed)
+
+    # -- generation ----------------------------------------------------------
+
+    def _rng(self) -> RandomStream:
+        return RandomStream(self.seed, "traffic", self.spec.process.kind)
+
+    def sessions(self) -> Iterator[TenantSession]:
+        """Lazy arrival-ordered tenant sessions (fresh seeded pass)."""
+        return self.population.sessions(
+            self.spec.process, self._rng(), self.spec.duration_s
+        )
+
+    def iter_requests(self) -> Iterator[Request]:
+        """All request arrivals in global arrival order, lazily.
+
+        Sessions are sorted by arrival but their request runs overlap, so
+        a streaming k-way merge keeps a heap of just the sessions whose
+        windows straddle the next emission time.
+        """
+        heap: list = []  # (next_arrival, session_id, index, requests)
+        sessions = self.sessions()
+        pending = next(sessions, None)
+        while pending is not None or heap:
+            # Admit every session that starts before the earliest queued
+            # request: after that the heap head is globally next.
+            while pending is not None and (
+                not heap or pending.arrival_s <= heap[0][0]
+            ):
+                heapq.heappush(
+                    heap,
+                    (pending.requests[0].arrival_s, pending.session_id, 0,
+                     pending.requests),
+                )
+                pending = next(sessions, None)
+            if not heap:
+                continue
+            t, sid, idx, reqs = heapq.heappop(heap)
+            yield reqs[idx]
+            if idx + 1 < len(reqs):
+                heapq.heappush(heap, (reqs[idx + 1].arrival_s, sid, idx + 1, reqs))
+
+    def request_stream(self) -> LazyRequestStream:
+        """The flattened traffic as a lazy request stream."""
+        return LazyRequestStream(
+            self.iter_requests,
+            horizon_s=self.spec.duration_s,
+            expected_requests=self.spec.expected_requests,
+        )
+
+
+__all__ = ["TrafficGenerator"]

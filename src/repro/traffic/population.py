@@ -1,0 +1,221 @@
+"""Tenant population model with churn (ISSUE 8).
+
+Serverless-style GPU tenants do not run forever: a session arrives,
+issues a handful of requests and departs (MQFQ-Sticky, arXiv
+2507.08954).  This module turns an aggregate arrival process into a lazy
+stream of :class:`TenantSession`\\ s:
+
+* the *session* arrival process is the request process scaled down by
+  the mean requests-per-session, so the configured aggregate request
+  rate is preserved;
+* each session belongs to one of ``n_tenants`` recurring tenant
+  identities, picks its application by catalog weight, draws a request
+  count (geometric, mean ``requests_per_session``) and separates its
+  requests by exponential think times;
+* with churn enabled the session also draws a *lifetime*; requests past
+  the departure are never issued, and the open-loop runner aborts
+  whatever the tenant still has queued or in flight at departure —
+  exercising RCB eviction and bind/unbind far beyond the paper's rates.
+
+Everything is seeded through :class:`~repro.sim.rng.RandomStream`
+substreams (one per session index), so the same seed replays the
+identical population byte-for-byte, and generation is lazy: sessions
+materialize one at a time, each holding only its own few requests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence, Tuple
+
+from repro.apps.models import AppSpec
+from repro.sim.rng import RandomStream
+from repro.workloads.streams import Request
+from repro.traffic.processes import ArrivalProcess
+
+
+class TenantDeparted(Exception):
+    """Raised into a tenant's sessions when it churns out mid-request."""
+
+
+@dataclass(frozen=True)
+class LifetimeDistribution:
+    """Session lifetime (churn) law: ``exp:MEAN``, ``fixed:LIFE`` or none.
+
+    ``none`` (``mean_s is None``) disables churn: sessions live until
+    their last request completes, like the paper's streams.
+    """
+
+    law: str = "none"
+    mean_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.law not in ("none", "exp", "fixed"):
+            raise ValueError(
+                f"unknown churn law {self.law!r} (know none, exp, fixed)"
+            )
+        if self.law == "none" and self.mean_s is not None:
+            raise ValueError("churn=none takes no lifetime")
+        if self.law != "none":
+            if self.mean_s is None or self.mean_s <= 0:
+                raise ValueError(
+                    f"churn lifetime must be > 0 seconds, got {self.mean_s}"
+                )
+
+    @property
+    def enabled(self) -> bool:
+        return self.law != "none"
+
+    def draw_s(self, rng: RandomStream) -> float:
+        """One session lifetime in seconds (inf when churn is off)."""
+        if self.law == "exp":
+            return rng.exponential(self.mean_s)
+        if self.law == "fixed":
+            return self.mean_s
+        return math.inf
+
+
+@dataclass(frozen=True)
+class TenantSession:
+    """One tenant visit: arrive, issue a few requests, depart.
+
+    ``requests`` are the arrivals the session actually issues (all in
+    ``[arrival_s, departure_s)``); ``departure_s`` is ``inf`` without
+    churn.  A session departing before its requests finish is the churn
+    case the runner must clean up after.
+    """
+
+    session_id: int
+    tenant_id: str
+    app: AppSpec
+    arrival_s: float
+    departure_s: float
+    node_index: int = 0
+    tenant_weight: float = 1.0
+    requests: Tuple[Request, ...] = ()
+
+    @property
+    def churned(self) -> bool:
+        return math.isfinite(self.departure_s)
+
+
+class TenantPopulation:
+    """A pool of recurring tenant identities with per-session churn."""
+
+    def __init__(
+        self,
+        n_tenants: int,
+        apps: Sequence[Tuple[AppSpec, float]],
+        churn: LifetimeDistribution = LifetimeDistribution(),
+        think_s: float = 1.0,
+        requests_per_session: float = 4.0,
+        n_nodes: int = 1,
+    ) -> None:
+        if n_tenants < 1:
+            raise ValueError(f"need at least one tenant, got {n_tenants}")
+        if not apps:
+            raise ValueError("need at least one application in the mix")
+        if any(w <= 0 for _, w in apps):
+            raise ValueError("app weights must be > 0")
+        if think_s < 0:
+            raise ValueError(f"think time must be >= 0 seconds, got {think_s}")
+        if requests_per_session < 1:
+            raise ValueError(
+                f"requests per session must be >= 1, got {requests_per_session}"
+            )
+        if n_nodes < 1:
+            raise ValueError(f"need at least one frontend node, got {n_nodes}")
+        self.n_tenants = n_tenants
+        self.apps = list(apps)
+        self.churn = churn
+        self.think_s = float(think_s)
+        self.requests_per_session = float(requests_per_session)
+        self.n_nodes = n_nodes
+        # Cumulative weights for the seeded app draw.
+        total = sum(w for _, w in self.apps)
+        acc = 0.0
+        self._cum = []
+        for app, w in self.apps:
+            acc += w / total
+            self._cum.append((acc, app))
+
+    # -- seeded draws --------------------------------------------------------
+
+    def _draw_app(self, rng: RandomStream) -> AppSpec:
+        u = rng.uniform()
+        for acc, app in self._cum:
+            if u <= acc:
+                return app
+        return self._cum[-1][1]
+
+    def _draw_request_count(self, rng: RandomStream) -> int:
+        """Geometric count with mean ``requests_per_session`` (>= 1)."""
+        mean = self.requests_per_session
+        if mean <= 1.0:
+            return 1
+        p = 1.0 / mean
+        u = max(rng.uniform(), 1e-12)
+        return 1 + int(math.log(u) / math.log(1.0 - p))
+
+    # -- generation ----------------------------------------------------------
+
+    def sessions(
+        self,
+        process: ArrivalProcess,
+        rng: RandomStream,
+        horizon_s: float,
+    ) -> Iterator[TenantSession]:
+        """Lazily yield sessions in arrival order until ``horizon_s``.
+
+        ``process`` is interpreted at *request* granularity: the session
+        arrival rate is ``process.rate_rps / requests_per_session``, so
+        the configured rate stays the aggregate offered request rate.
+        Per-session detail draws come from ``rng.spawn(index)``
+        substreams — adding sessions never perturbs earlier ones.
+        """
+        session_process = process.scaled(1.0 / self.requests_per_session)
+        arrival_rng = rng.spawn("arrivals")
+        for i, t0 in enumerate(session_process.arrivals(arrival_rng, horizon_s)):
+            srng = rng.spawn("session", i)
+            tenant_idx = srng.integers(0, self.n_tenants)
+            app = self._draw_app(srng)
+            lifetime = self.churn.draw_s(srng)
+            departure = t0 + lifetime
+            count = self._draw_request_count(srng)
+            tenant_id = f"c{tenant_idx}"
+            node_index = tenant_idx % self.n_nodes
+            reqs = []
+            t = t0
+            for _ in range(count):
+                if t >= departure or t > horizon_s:
+                    break
+                reqs.append(
+                    Request(
+                        app=app,
+                        arrival_s=t,
+                        node_index=node_index,
+                        tenant_id=tenant_id,
+                        tenant_weight=1.0,
+                    )
+                )
+                if self.think_s > 0:
+                    t += srng.exponential(self.think_s)
+            yield TenantSession(
+                session_id=i,
+                tenant_id=tenant_id,
+                app=app,
+                arrival_s=t0,
+                departure_s=departure,
+                node_index=node_index,
+                tenant_weight=1.0,
+                requests=tuple(reqs),
+            )
+
+
+__all__ = [
+    "LifetimeDistribution",
+    "TenantDeparted",
+    "TenantPopulation",
+    "TenantSession",
+]

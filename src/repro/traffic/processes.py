@@ -1,0 +1,188 @@
+"""Composable seeded arrival processes (ISSUE 8).
+
+The paper's service model drives each stream with a stationary negative
+exponential — fine for fig9-sized runs, but real multi-tenant GPU
+services see churn-heavy, bursty arrivals (MQFQ-Sticky, arXiv
+2507.08954) and diurnal load against latency SLOs (arXiv 2111.14255).
+This module provides the three canonical open-loop shapes as *lazy*
+generators of absolute arrival times:
+
+* :class:`PoissonProcess` — stationary rate ``lambda`` (the paper's
+  eq. 4 restated as a rate instead of a per-app mean gap);
+* :class:`OnOffProcess` — Markov-modulated ON/OFF (bursty): alternate
+  exponentially-distributed ON and OFF dwell periods, arriving at
+  ``burst``x the mean rate while ON and at the (non-negative) residual
+  rate while OFF, preserving the configured mean rate overall;
+* :class:`DiurnalProcess` — sinusoidal rate
+  ``lambda(t) = rate * (1 + depth * sin(2*pi*t/period))`` realized by
+  Lewis-Shedler thinning against the peak rate.
+
+Every process draws from a caller-supplied
+:class:`~repro.sim.rng.RandomStream`, so the same seed replays the
+identical arrival sequence; :meth:`ArrivalProcess.scaled` returns a
+rate-multiplied copy (the knob the ``scale`` harness sweeps to find the
+goodput knee).  Iterators never materialize: 10^6 arrivals cost O(1)
+memory.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+from repro.sim.rng import RandomStream
+
+
+@dataclass(frozen=True)
+class ArrivalProcess:
+    """Base: a seeded open-loop arrival-time generator at ``rate_rps``."""
+
+    rate_rps: float
+
+    #: Grammar name (``--traffic`` head) of the process.
+    kind = "?"
+
+    def __post_init__(self) -> None:
+        if self.rate_rps <= 0:
+            raise ValueError(f"rate must be > 0 requests/s, got {self.rate_rps}")
+
+    def arrivals(self, rng: RandomStream, horizon_s: float) -> Iterator[float]:
+        """Yield absolute arrival times in (0, horizon_s], lazily."""
+        raise NotImplementedError
+
+    def scaled(self, multiplier: float) -> "ArrivalProcess":
+        """The same process shape at ``multiplier`` x the mean rate."""
+        if multiplier <= 0:
+            raise ValueError(f"load multiplier must be > 0, got {multiplier}")
+        return replace(self, rate_rps=self.rate_rps * multiplier)
+
+
+@dataclass(frozen=True)
+class PoissonProcess(ArrivalProcess):
+    """Stationary Poisson arrivals: exponential gaps of mean 1/rate."""
+
+    kind = "poisson"
+
+    def arrivals(self, rng: RandomStream, horizon_s: float) -> Iterator[float]:
+        mean_gap = 1.0 / self.rate_rps
+        t = 0.0
+        while True:
+            t += rng.exponential(mean_gap)
+            if t > horizon_s:
+                return
+            yield t
+
+
+@dataclass(frozen=True)
+class OnOffProcess(ArrivalProcess):
+    """Markov-modulated ON/OFF (bursty) arrivals.
+
+    Dwell times in each state are exponential with means ``on_s`` /
+    ``off_s``.  While ON the instantaneous rate is ``burst * rate_rps``;
+    while OFF it is the residual rate that keeps the long-run mean at
+    ``rate_rps`` given the ON duty cycle — so ``burst`` may not exceed
+    ``1 / duty`` (the whole mean delivered in the ON fraction).
+    """
+
+    burst: float = 4.0
+    on_s: float = 10.0
+    off_s: float = 30.0
+
+    kind = "onoff"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.burst <= 1.0:
+            raise ValueError(f"burst must be > 1 (ON rate over the mean), got {self.burst}")
+        if self.on_s <= 0 or self.off_s <= 0:
+            raise ValueError(
+                f"on/off dwell means must be > 0 s, got on={self.on_s} off={self.off_s}"
+            )
+        if self.burst > 1.0 / self.duty:
+            raise ValueError(
+                f"burst={self.burst} exceeds 1/duty={1.0 / self.duty:.3f} "
+                "(the OFF-state rate would be negative)"
+            )
+
+    @property
+    def duty(self) -> float:
+        """Long-run fraction of time spent ON."""
+        return self.on_s / (self.on_s + self.off_s)
+
+    @property
+    def on_rate_rps(self) -> float:
+        return self.burst * self.rate_rps
+
+    @property
+    def off_rate_rps(self) -> float:
+        d = self.duty
+        return self.rate_rps * (1.0 - self.burst * d) / (1.0 - d)
+
+    def arrivals(self, rng: RandomStream, horizon_s: float) -> Iterator[float]:
+        t = 0.0
+        on = True  # start in a burst: the interesting regime
+        period_end = rng.exponential(self.on_s)
+        while t < horizon_s:
+            rate = self.on_rate_rps if on else self.off_rate_rps
+            if rate <= 0.0:
+                # Silent OFF state: jump to the next ON period.
+                t = period_end
+                on = True
+                period_end = t + rng.exponential(self.on_s)
+                continue
+            gap = rng.exponential(1.0 / rate)
+            if t + gap > period_end:
+                # State flips before the next arrival: resample the gap
+                # from the flip point (memorylessness makes this exact).
+                t = period_end
+                on = not on
+                period_end = t + rng.exponential(self.on_s if on else self.off_s)
+                continue
+            t += gap
+            if t > horizon_s:
+                return
+            yield t
+
+
+@dataclass(frozen=True)
+class DiurnalProcess(ArrivalProcess):
+    """Sinusoidal-rate (diurnal) arrivals by Lewis-Shedler thinning.
+
+    ``lambda(t) = rate * (1 + depth * sin(2*pi*t/period))`` — mean rate
+    over a full period is exactly ``rate_rps``; ``depth`` in [0, 1)
+    dials the peak-to-trough swing.
+    """
+
+    period_s: float = 600.0
+    depth: float = 0.8
+
+    kind = "diurnal"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.period_s <= 0:
+            raise ValueError(f"period must be > 0 s, got {self.period_s}")
+        if not 0.0 <= self.depth < 1.0:
+            raise ValueError(f"depth must be in [0, 1), got {self.depth}")
+
+    def arrivals(self, rng: RandomStream, horizon_s: float) -> Iterator[float]:
+        peak = self.rate_rps * (1.0 + self.depth)
+        mean_gap = 1.0 / peak
+        omega = 2.0 * math.pi / self.period_s
+        t = 0.0
+        while True:
+            t += rng.exponential(mean_gap)
+            if t > horizon_s:
+                return
+            lam = self.rate_rps * (1.0 + self.depth * math.sin(omega * t))
+            if rng.uniform() * peak <= lam:
+                yield t
+
+
+__all__ = [
+    "ArrivalProcess",
+    "DiurnalProcess",
+    "OnOffProcess",
+    "PoissonProcess",
+]

@@ -1,0 +1,296 @@
+"""The ``--traffic`` spec grammar (ISSUE 8).
+
+A :class:`TrafficSpec` is pure data describing one traffic scenario —
+arrival process shape, tenant population, churn law, duration and app
+mix — parsed from a compact text form in the style of the existing
+``--faults`` / ``--slo`` grammars::
+
+    poisson:rate=50,tenants=2000,churn=exp:120
+    onoff:rate=30:burst=4:on=10:off=30,tenants=500,churn=exp:60,think=0.5
+    diurnal:rate=40:period=600:depth=0.8,reqs=6,duration=900,apps=MC+GA*2
+
+Items are comma-separated; fields inside an item are colon-separated.
+The first item names the arrival process (``poisson`` / ``onoff`` /
+``diurnal``) with its parameters; the remaining items are global knobs:
+
+=====================  ====================================================
+``tenants=N``          recurring tenant identities (default 100)
+``churn=exp:MEAN``     exponential session lifetimes, mean seconds
+``churn=fixed:LIFE``   fixed lifetimes
+``churn=none``         no churn (default): sessions finish their requests
+``think=MEAN_S``       mean exponential think time between a session's
+                       requests (default 1.0; 0 = back-to-back)
+``reqs=MEAN``          mean requests per session, geometric (default 4)
+``duration=S``         arrival horizon in sim seconds (default 300)
+``apps=MC+GA*2``       weighted app mix by short code (default: whole
+                       catalog, weight 1 each)
+``nodes=N``            frontend nodes the tenants cycle over (default 2)
+``seed=N``             traffic seed override (default: the harness seed)
+=====================  ====================================================
+
+:func:`parse_traffic_spec` raises :class:`ValueError` with an actionable
+message on any malformed item (the harness turns that into an argparse
+error), and every spec round-trips through :meth:`TrafficSpec.canonical`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.apps.catalog import ALL_APPS, APPS_BY_SHORT
+from repro.traffic.population import LifetimeDistribution
+from repro.traffic.processes import (
+    ArrivalProcess,
+    DiurnalProcess,
+    OnOffProcess,
+    PoissonProcess,
+)
+
+PROCESS_KINDS = ("poisson", "onoff", "diurnal")
+
+_DEFAULT_APPS: Tuple[Tuple[str, float], ...] = tuple(
+    (a.short, 1.0) for a in ALL_APPS
+)
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """One parsed traffic scenario (pure data, seed applied later)."""
+
+    process: ArrivalProcess
+    tenants: int = 100
+    churn: LifetimeDistribution = field(default_factory=LifetimeDistribution)
+    think_s: float = 1.0
+    requests_per_session: float = 4.0
+    duration_s: float = 300.0
+    #: Weighted mix of catalog short codes, e.g. ``(("MC", 1.0), ("GA", 2.0))``.
+    apps: Tuple[Tuple[str, float], ...] = _DEFAULT_APPS
+    nodes: int = 2
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.tenants < 1:
+            raise ValueError(f"tenants= must be >= 1, got {self.tenants}")
+        if self.think_s < 0:
+            raise ValueError(f"think= must be >= 0 seconds, got {self.think_s}")
+        if self.requests_per_session < 1:
+            raise ValueError(
+                f"reqs= must be >= 1 requests per session, got {self.requests_per_session}"
+            )
+        if self.duration_s <= 0:
+            raise ValueError(f"duration= must be > 0 seconds, got {self.duration_s}")
+        if self.nodes < 1:
+            raise ValueError(f"nodes= must be >= 1, got {self.nodes}")
+        for short, weight in self.apps:
+            if short not in APPS_BY_SHORT:
+                raise ValueError(
+                    f"unknown app {short!r} in apps= "
+                    f"(know {', '.join(sorted(APPS_BY_SHORT))})"
+                )
+            if weight <= 0:
+                raise ValueError(f"app weight for {short} must be > 0, got {weight}")
+
+    #: Nominal offered request rate (the knob ``scale`` multiplies).
+    @property
+    def offered_rate_rps(self) -> float:
+        return self.process.rate_rps
+
+    @property
+    def expected_requests(self) -> int:
+        """Nominal request count of the scenario (rate x duration)."""
+        return int(round(self.process.rate_rps * self.duration_s))
+
+    def scaled(self, multiplier: float) -> "TrafficSpec":
+        """The same scenario at ``multiplier`` x the offered rate."""
+        return replace(self, process=self.process.scaled(multiplier))
+
+    def canonical(self) -> str:
+        """The spec's canonical text form (parses back to an equal spec)."""
+        p = self.process
+        if isinstance(p, OnOffProcess):
+            head = (
+                f"onoff:rate={p.rate_rps:g}:burst={p.burst:g}"
+                f":on={p.on_s:g}:off={p.off_s:g}"
+            )
+        elif isinstance(p, DiurnalProcess):
+            head = f"diurnal:rate={p.rate_rps:g}:period={p.period_s:g}:depth={p.depth:g}"
+        else:
+            head = f"poisson:rate={p.rate_rps:g}"
+        items = [head, f"tenants={self.tenants}"]
+        if self.churn.enabled:
+            items.append(f"churn={self.churn.law}:{self.churn.mean_s:g}")
+        items += [
+            f"think={self.think_s:g}",
+            f"reqs={self.requests_per_session:g}",
+            f"duration={self.duration_s:g}",
+        ]
+        if self.apps != _DEFAULT_APPS:
+            items.append(
+                "apps="
+                + "+".join(
+                    short if weight == 1.0 else f"{short}*{weight:g}"
+                    for short, weight in self.apps
+                )
+            )
+        items.append(f"nodes={self.nodes}")
+        if self.seed is not None:
+            items.append(f"seed={self.seed}")
+        return ",".join(items)
+
+
+# --------------------------------------------------------------------------
+# parsing
+# --------------------------------------------------------------------------
+
+
+def _num(fields: dict, key: str, item: str) -> float:
+    try:
+        return float(fields[key])
+    except ValueError:
+        raise ValueError(
+            f"{key}= in {item!r} must be a number, got {fields[key]!r}"
+        ) from None
+
+
+def _parse_process(item: str) -> ArrivalProcess:
+    parts = item.split(":")
+    kind = parts[0].strip()
+    fields = {}
+    for part in parts[1:]:
+        k, _, v = part.partition("=")
+        fields[k.strip()] = v.strip()
+    if "rate" not in fields:
+        raise ValueError(f"arrival process {item!r} needs rate= (requests/s)")
+    rate = _num(fields, "rate", item)
+    if rate <= 0:
+        raise ValueError(f"rate= in {item!r} must be > 0 requests/s, got {rate:g}")
+    try:
+        if kind == "poisson":
+            return PoissonProcess(rate)
+        if kind == "onoff":
+            return OnOffProcess(
+                rate,
+                burst=_num(fields, "burst", item) if "burst" in fields else 4.0,
+                on_s=_num(fields, "on", item) if "on" in fields else 10.0,
+                off_s=_num(fields, "off", item) if "off" in fields else 30.0,
+            )
+        # kind == "diurnal" (guarded by the caller)
+        return DiurnalProcess(
+            rate,
+            period_s=_num(fields, "period", item) if "period" in fields else 600.0,
+            depth=_num(fields, "depth", item) if "depth" in fields else 0.8,
+        )
+    except ValueError as exc:
+        # Process-constructor validation errors, re-anchored to the item.
+        raise ValueError(f"in {item!r}: {exc}") from None
+
+
+def _parse_churn(item: str, parts: list) -> LifetimeDistribution:
+    _, _, law = parts[0].partition("=")
+    law = law.strip()
+    usage = "(know churn=none, churn=exp:MEAN_S, churn=fixed:LIFETIME_S)"
+    if law == "none":
+        if len(parts) > 1:
+            raise ValueError(f"malformed churn clause {item!r}: churn=none takes no lifetime {usage}")
+        return LifetimeDistribution()
+    if law not in ("exp", "fixed"):
+        raise ValueError(f"malformed churn clause {item!r}: unknown law {law!r} {usage}")
+    if len(parts) != 2:
+        raise ValueError(f"malformed churn clause {item!r}: {law} needs one lifetime {usage}")
+    try:
+        mean_s = float(parts[1])
+    except ValueError:
+        raise ValueError(
+            f"malformed churn clause {item!r}: lifetime must be a number, got {parts[1]!r} {usage}"
+        ) from None
+    try:
+        return LifetimeDistribution(law, mean_s)
+    except ValueError as exc:
+        raise ValueError(f"malformed churn clause {item!r}: {exc}") from None
+
+
+def _parse_apps(value: str, item: str) -> Tuple[Tuple[str, float], ...]:
+    out = []
+    for chunk in value.split("+"):
+        chunk = chunk.strip()
+        if not chunk:
+            raise ValueError(f"apps= in {item!r} has an empty entry")
+        short, star, weight_txt = chunk.partition("*")
+        short = short.strip()
+        weight = 1.0
+        if star:
+            try:
+                weight = float(weight_txt)
+            except ValueError:
+                raise ValueError(
+                    f"apps= weight in {item!r} must be a number, got {weight_txt!r}"
+                ) from None
+        if short not in APPS_BY_SHORT:
+            raise ValueError(
+                f"unknown app {short!r} in {item!r} "
+                f"(know {', '.join(sorted(APPS_BY_SHORT))})"
+            )
+        out.append((short, weight))
+    return tuple(out)
+
+
+def parse_traffic_spec(spec: str) -> TrafficSpec:
+    """Parse a ``--traffic`` string into a :class:`TrafficSpec`.
+
+    Raises :class:`ValueError` with a human-readable message on any
+    malformed item, mirroring :func:`repro.faults.parse_fault_spec`.
+    """
+    items = [item.strip() for item in spec.split(",") if item.strip()]
+    if not items:
+        raise ValueError("empty traffic spec")
+    head_kind = items[0].split(":", 1)[0].split("=", 1)[0].strip()
+    if head_kind not in PROCESS_KINDS:
+        raise ValueError(
+            f"unknown arrival process {head_kind!r} "
+            f"(know {', '.join(PROCESS_KINDS)}); the process must be the "
+            "first item, e.g. 'poisson:rate=50,...'"
+        )
+    process = _parse_process(items[0])
+
+    kw: dict = {}
+    for item in items[1:]:
+        parts = item.split(":")
+        head = parts[0]
+        if "=" not in head:
+            raise ValueError(
+                f"traffic item {item!r} must look like KEY=VALUE "
+                "(tenants=, churn=, think=, reqs=, duration=, apps=, nodes=, seed=)"
+            )
+        key, _, value = head.partition("=")
+        key = key.strip()
+        value = value.strip()
+        if key == "churn":
+            kw["churn"] = _parse_churn(item, parts)
+            continue
+        if len(parts) > 1:
+            raise ValueError(f"traffic item {item!r}: only churn= takes a ':' clause")
+        if key == "tenants":
+            kw["tenants"] = int(_num({"tenants": value}, "tenants", item))
+        elif key == "think":
+            kw["think_s"] = _num({"think": value}, "think", item)
+        elif key == "reqs":
+            kw["requests_per_session"] = _num({"reqs": value}, "reqs", item)
+        elif key == "duration":
+            kw["duration_s"] = _num({"duration": value}, "duration", item)
+        elif key == "apps":
+            kw["apps"] = _parse_apps(value, item)
+        elif key == "nodes":
+            kw["nodes"] = int(_num({"nodes": value}, "nodes", item))
+        elif key == "seed":
+            kw["seed"] = int(_num({"seed": value}, "seed", item))
+        else:
+            raise ValueError(
+                f"unknown traffic spec item {item!r} "
+                "(know tenants=, churn=, think=, reqs=, duration=, apps=, "
+                "nodes=, seed=)"
+            )
+    return TrafficSpec(process=process, **kw)
+
+
+__all__ = ["PROCESS_KINDS", "TrafficSpec", "parse_traffic_spec"]

@@ -8,17 +8,21 @@ Group B (short) app in Table I order.
 """
 
 from repro.workloads.streams import (
+    LazyRequestStream,
     Request,
     RequestStream,
     exponential_stream,
+    merge_lazy,
 )
 from repro.workloads.pairs import PAIRS, pair_apps, pair_label
 
 __all__ = [
+    "LazyRequestStream",
     "PAIRS",
     "Request",
     "RequestStream",
     "exponential_stream",
+    "merge_lazy",
     "pair_apps",
     "pair_label",
 ]

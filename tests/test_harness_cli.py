@@ -213,3 +213,67 @@ def test_cli_streaming_flag_validation(capsys, tmp_path):
     with pytest.raises(SystemExit):
         main(["analyze", "--stream-dir", str(tmp_path / "missing")])
     assert "--stream-dir" in capsys.readouterr().err
+
+
+# -- scale extension (ISSUE 8) ------------------------------------------------
+
+
+def test_cli_lists_scale_extension():
+    assert "scale" in EXTENSIONS
+
+
+def test_cli_rejects_bad_traffic_spec(capsys):
+    with pytest.raises(SystemExit):
+        main(["scale", "--traffic", "weibull:rate=5"])
+    err = capsys.readouterr().err
+    assert "--traffic" in err and "unknown arrival process" in err
+    with pytest.raises(SystemExit):
+        main(["scale", "--traffic", "poisson:rate=0"])
+    assert "must be > 0" in capsys.readouterr().err
+
+
+def test_cli_rejects_bad_loads(capsys):
+    with pytest.raises(SystemExit):
+        main(["scale", "--loads", "0.5,fast"])
+    assert "--loads" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        main(["scale", "--loads", "0"])
+    assert "must be > 0" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        main(["scale", "--loads", ","])
+    assert "at least one" in capsys.readouterr().err
+
+
+def test_cli_scale_flags_require_scale_experiment(capsys):
+    with pytest.raises(SystemExit):
+        main(["fig1", "--traffic", "poisson:rate=5"])
+    assert "only applies to the 'scale' extension" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        main(["fig1", "--loads", "1,2"])
+    assert "only applies" in capsys.readouterr().err
+
+
+def test_cli_scale_sweep_runs_and_writes_artifacts(capsys, tmp_path):
+    import json as _json
+
+    out_json = tmp_path / "sweep.json"
+    out_html = tmp_path / "sweep.html"
+    rc = main([
+        "scale",
+        "--traffic", "poisson:rate=3,tenants=20,churn=exp:10,duration=15,apps=GA",
+        "--loads", "0.5,1",
+        "--scale-out", str(out_json),
+        "--scale-report", str(out_html),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Scale sweep" in out and "Goodput rps" in out
+    doc = _json.loads(out_json.read_text())
+    assert doc["tool"] == "scale"
+    assert [p["multiplier"] for p in doc["points"]] == [0.5, 1.0]
+    for p in doc["points"]:
+        assert p["offered"] == p["completed"] + p["aborted"] + p["failed"]
+        assert "marginal_efficiency" in p
+    assert "knee_multiplier" in doc
+    html = out_html.read_text()
+    assert "<svg" in html and "goodput" in html

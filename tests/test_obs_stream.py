@@ -411,6 +411,32 @@ class TestLiveConsole:
         with pytest.raises(ValueError):
             LiveConsole(interval_s=0.0)
 
+    def test_drain_phase_past_horizon(self):
+        # A duration-bounded open-loop run keeps simulating after the
+        # arrival horizon while in-flight requests drain; the console
+        # must flag that instead of advertising ETA 0 at a pegged 100%.
+        console = LiveConsole(interval_s=0.001, out=io.StringIO())
+        tel = self._tel_with_data()  # run_horizon_s = 10.0
+        running = console.snapshot(5.0, tel, wall=4.0)
+        assert running["phase"] == "run"
+        assert running["eta_s"] == pytest.approx(4.0, abs=0.1)
+        draining = console.snapshot(12.0, tel, wall=9.0)
+        assert draining["phase"] == "drain"
+        assert draining["progress"] == 1.0
+        assert draining["eta_s"] is None
+        line = console.render_line(draining)
+        assert "drain" in line and "ETA" not in line
+
+    def test_no_horizon_means_no_progress_or_phase(self):
+        console = LiveConsole(interval_s=0.001, out=io.StringIO())
+        tel = self._tel_with_data()
+        tel.run_horizon_s = 0.0  # request-count-unknown AND no horizon
+        snap = console.snapshot(5.0, tel, wall=1.0)
+        assert snap["progress"] is None
+        assert snap["phase"] is None
+        assert snap["eta_s"] is None
+        assert "ETA" not in console.render_line(snap)
+
 
 # ---------------------------------------------------------------------------
 # Dropped-sample surfacing (satellite)

@@ -1,0 +1,178 @@
+"""Tests for the ``--traffic`` grammar (repro.traffic.spec).
+
+Satellite 6 (ISSUE 8): every malformed spec is rejected with an
+actionable message naming the offending item, mirroring the ``--faults``
+error style, and every well-formed spec round-trips through
+``TrafficSpec.canonical()``.
+"""
+
+import pytest
+
+from repro.traffic import (
+    DiurnalProcess,
+    OnOffProcess,
+    PoissonProcess,
+    TrafficSpec,
+    parse_traffic_spec,
+)
+
+# -- parsing ------------------------------------------------------------------
+
+
+def test_minimal_poisson_spec():
+    spec = parse_traffic_spec("poisson:rate=50")
+    assert isinstance(spec.process, PoissonProcess)
+    assert spec.process.rate_rps == 50.0
+    assert spec.tenants == 100
+    assert not spec.churn.enabled
+    assert spec.duration_s == 300.0
+    assert spec.expected_requests == 15_000
+
+
+def test_full_spec_parses_every_knob():
+    spec = parse_traffic_spec(
+        "onoff:rate=30:burst=3:on=5:off=15,tenants=2000,churn=exp:120,"
+        "think=0.5,reqs=6,duration=900,apps=MC+GA*2,nodes=4,seed=7"
+    )
+    p = spec.process
+    assert isinstance(p, OnOffProcess)
+    assert (p.rate_rps, p.burst, p.on_s, p.off_s) == (30.0, 3.0, 5.0, 15.0)
+    assert spec.tenants == 2000
+    assert spec.churn.law == "exp" and spec.churn.mean_s == 120.0
+    assert spec.think_s == 0.5
+    assert spec.requests_per_session == 6.0
+    assert spec.duration_s == 900.0
+    assert spec.apps == (("MC", 1.0), ("GA", 2.0))
+    assert spec.nodes == 4
+    assert spec.seed == 7
+
+
+def test_diurnal_and_fixed_churn():
+    spec = parse_traffic_spec("diurnal:rate=40:period=120:depth=0.5,churn=fixed:60")
+    p = spec.process
+    assert isinstance(p, DiurnalProcess)
+    assert (p.period_s, p.depth) == (120.0, 0.5)
+    assert spec.churn.law == "fixed" and spec.churn.mean_s == 60.0
+
+
+def test_churn_none_is_default():
+    assert parse_traffic_spec("poisson:rate=1,churn=none").churn.enabled is False
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "poisson:rate=50",
+        "poisson:rate=12.5,tenants=3,think=0,reqs=1,duration=10,nodes=1",
+        "onoff:rate=30:burst=3:on=5:off=15,churn=exp:120,seed=9",
+        "diurnal:rate=40:period=120:depth=0.5,apps=MC+GA*2+SN",
+        "poisson:rate=2,churn=fixed:30,apps=BS",
+    ],
+)
+def test_canonical_round_trips(text):
+    spec = parse_traffic_spec(text)
+    assert parse_traffic_spec(spec.canonical()) == spec
+
+
+def test_scaled_multiplies_only_the_rate():
+    spec = parse_traffic_spec("poisson:rate=10,tenants=5,duration=100")
+    double = spec.scaled(2.0)
+    assert double.process.rate_rps == 20.0
+    assert double.offered_rate_rps == 20.0
+    assert double.expected_requests == 2000
+    assert (double.tenants, double.duration_s) == (5, 100.0)
+
+
+# -- rejections (one per grammar rule, satellite 6) ---------------------------
+
+
+def reject(text):
+    with pytest.raises(ValueError) as exc:
+        parse_traffic_spec(text)
+    return str(exc.value)
+
+
+def test_rejects_empty_spec():
+    assert "empty traffic spec" in reject("  ,  ")
+
+
+def test_rejects_unknown_process():
+    msg = reject("weibull:rate=50,tenants=10")
+    assert "unknown arrival process 'weibull'" in msg
+    assert "poisson, onoff, diurnal" in msg  # names the valid heads
+
+
+def test_rejects_missing_rate():
+    msg = reject("poisson,tenants=10")
+    assert "needs rate=" in msg
+
+
+def test_rejects_non_positive_rate():
+    msg = reject("poisson:rate=0")
+    assert "rate=" in msg and "must be > 0" in msg
+    assert "must be > 0" in reject("poisson:rate=-3")
+
+
+def test_rejects_non_numeric_rate():
+    msg = reject("poisson:rate=fast")
+    assert "rate=" in msg and "'fast'" in msg
+
+
+def test_rejects_malformed_churn_clauses():
+    msg = reject("poisson:rate=1,churn=exp")
+    assert "malformed churn clause" in msg and "churn=exp:MEAN_S" in msg
+    msg = reject("poisson:rate=1,churn=weibull:9")
+    assert "unknown law 'weibull'" in msg
+    msg = reject("poisson:rate=1,churn=exp:soon")
+    assert "lifetime must be a number" in msg
+    msg = reject("poisson:rate=1,churn=exp:0")
+    assert "must be > 0" in msg
+    msg = reject("poisson:rate=1,churn=none:5")
+    assert "churn=none takes no lifetime" in msg
+
+
+def test_rejects_unknown_item():
+    msg = reject("poisson:rate=1,sessions=10")
+    assert "unknown traffic spec item 'sessions=10'" in msg
+    assert "tenants=" in msg  # lists what it does know
+
+
+def test_rejects_non_kv_item():
+    msg = reject("poisson:rate=1,fast")
+    assert "KEY=VALUE" in msg
+
+
+def test_rejects_colon_clause_outside_churn():
+    msg = reject("poisson:rate=1,tenants=5:9")
+    assert "only churn= takes a ':' clause" in msg
+
+
+def test_rejects_bad_apps_mix():
+    msg = reject("poisson:rate=1,apps=MC+XX")
+    assert "unknown app 'XX'" in msg
+    msg = reject("poisson:rate=1,apps=MC*heavy")
+    assert "weight" in msg and "'heavy'" in msg
+    msg = reject("poisson:rate=1,apps=MC++GA")
+    assert "empty entry" in msg
+
+
+def test_rejects_out_of_range_globals():
+    assert "tenants=" in reject("poisson:rate=1,tenants=0")
+    assert "think=" in reject("poisson:rate=1,think=-1")
+    assert "reqs=" in reject("poisson:rate=1,reqs=0.5")
+    assert "duration=" in reject("poisson:rate=1,duration=0")
+    assert "nodes=" in reject("poisson:rate=1,nodes=0")
+
+
+def test_rejects_bad_process_fields():
+    msg = reject("onoff:rate=10:burst=1")
+    assert "burst" in msg and "'onoff:rate=10:burst=1'" in msg
+    msg = reject("diurnal:rate=10:depth=2")
+    assert "depth" in msg
+
+
+def test_spec_dataclass_validates_directly():
+    with pytest.raises(ValueError, match="unknown app"):
+        TrafficSpec(process=PoissonProcess(1.0), apps=(("XX", 1.0),))
+    with pytest.raises(ValueError, match="weight"):
+        TrafficSpec(process=PoissonProcess(1.0), apps=(("MC", 0.0),))

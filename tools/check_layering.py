@@ -17,10 +17,11 @@ about the scheduler" bugs start, so CI fails on any.
       7   apps         remoting, ...
       8   workloads    apps, ...
       8   metrics      apps, ...
-      9   core         remoting, cluster, cuda, ...
-     10   obs          telemetry (analysis layer over the kernel)
-     11   faults       core, apps, ...
-     12   harness      everything
+      9   traffic      workloads, apps, sim (generation, never cores)
+     10   core         remoting, cluster, cuda, ...
+     11   obs          telemetry (analysis layer over the kernel)
+     12   faults       core, apps, ...
+     13   harness      everything
 
 Equal-rank packages (workloads/metrics) are siblings and may not import
 each other.  Run:  python tools/check_layering.py  (exit 1 on violation).
@@ -44,10 +45,11 @@ RANK = {
     "apps": 7,
     "workloads": 8,
     "metrics": 8,
-    "core": 9,
-    "obs": 10,
-    "faults": 11,
-    "harness": 12,
+    "traffic": 9,
+    "core": 10,
+    "obs": 11,
+    "faults": 12,
+    "harness": 13,
 }
 
 REPRO_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
