@@ -35,10 +35,17 @@ class FaultInjector:
 
     def _run(self, events: Sequence[FaultEvent]):
         env = self.env
+        perf = getattr(env.telemetry, "perf", None)
         for ev in events:
             if ev.t > env.now:
                 yield env.timeout(ev.t - env.now)
-            self._fire(ev)
+            if perf is not None:
+                perf.push("faults.inject")
+            try:
+                self._fire(ev)
+            finally:
+                if perf is not None:
+                    perf.pop()
             self.fired += 1
 
     def _fire(self, ev: FaultEvent) -> None:

@@ -12,11 +12,14 @@ import repro.obs as obs
 from repro.traffic import parse_traffic_spec
 from repro.harness.runner import SCALE_PAPER, SCALE_QUICK
 from repro.obs import (
+    DEFAULT_HZ,
     LiveConsole,
     Sampler,
+    SamplingProfiler,
     SketchHistogram,
     SpanShardStore,
     Telemetry,
+    ZoneProfiler,
     analyze,
     check_tolerances,
     diff_runs,
@@ -158,6 +161,35 @@ def main(argv=None) -> int:
         "console redraw to PATH (implies --live)",
     )
     parser.add_argument(
+        "--profile",
+        metavar="HZ",
+        nargs="?",
+        type=float,
+        const=DEFAULT_HZ,
+        default=None,
+        help="wall-clock self-profiling (ISSUE 9): attach the zone-tagged "
+        "CPU ledger and an off-thread sampling profiler at HZ samples/s "
+        f"(default {DEFAULT_HZ:.0f}; HZ=0 keeps the zone ledger but skips "
+        "the stack sampler); simulated results are byte-identical either "
+        "way — only wall-clock accounting is added",
+    )
+    parser.add_argument(
+        "--flame-out",
+        metavar="PATH",
+        default=None,
+        help="write the sampled stacks as collapsed-stack text "
+        "(zone;frame;... count — flamegraph.pl/inferno input) to PATH; "
+        "requires --profile with HZ > 0",
+    )
+    parser.add_argument(
+        "--speedscope-out",
+        metavar="PATH",
+        default=None,
+        help="write the sampled stacks as a speedscope JSON profile "
+        "(open at https://www.speedscope.app) to PATH; requires "
+        "--profile with HZ > 0",
+    )
+    parser.add_argument(
         "--traffic",
         metavar="SPEC",
         default=None,
@@ -286,6 +318,15 @@ def main(argv=None) -> int:
         parser.error(f"--live interval must be > 0 wall-seconds, got {args.live}")
     if args.heartbeat is not None and args.live is None:
         args.live = 1.0
+    if args.profile is not None and args.profile < 0:
+        parser.error(f"--profile rate must be >= 0 Hz, got {args.profile}")
+    sampling_stacks = args.profile is not None and args.profile > 0
+    for flag, value in (
+        ("--flame-out", args.flame_out),
+        ("--speedscope-out", args.speedscope_out),
+    ):
+        if value is not None and not sampling_stacks:
+            parser.error(f"{flag} requires --profile with a rate > 0 Hz")
 
     tolerances = None
     if args.tolerance is not None:
@@ -410,7 +451,10 @@ def main(argv=None) -> int:
         args.prom_out, args.diff_out,
     )
     # Fail on unwritable output paths now, not after the experiments ran.
-    for path in out_paths + (args.heartbeat, args.scale_out, args.scale_report):
+    for path in out_paths + (
+        args.heartbeat, args.scale_out, args.scale_report,
+        args.flame_out, args.speedscope_out,
+    ):
         if path is not None:
             try:
                 with open(path, "a"):
@@ -424,6 +468,12 @@ def main(argv=None) -> int:
     if args.experiment == "scale":
         from repro.harness import scale as scale_tool
 
+        if args.flame_out is not None or args.speedscope_out is not None:
+            parser.error(
+                "--flame-out/--speedscope-out do not apply to the 'scale' "
+                "extension (it runs one registry per load point; use "
+                "--profile for per-point CPU ledgers in --scale-out)"
+            )
         if args.link_gbps is not None or args.link_latency_us is not None:
             network_mod.configure_defaults(
                 latency_s=(
@@ -452,6 +502,7 @@ def main(argv=None) -> int:
             live=args.live,
             sample_interval=args.sample_interval,
             fault_plan=fault_plan,
+            profile=args.profile,
             out_json=args.scale_out,
             out_html=args.scale_report,
         )
@@ -461,6 +512,7 @@ def main(argv=None) -> int:
     # on its own, so its summary still carries span-derived p50/p99.
     streaming = args.stream_dir is not None
     live = args.live is not None
+    profiling = args.profile is not None
     observing = (
         any(p is not None for p in out_paths)
         or slo_monitor is not None
@@ -468,8 +520,14 @@ def main(argv=None) -> int:
         or baseline_doc is not None
         or streaming
         or live
+        or profiling
     )
     tel = obs.install(Telemetry()) if observing else obs.current()
+    if profiling:
+        # Zone-tagged CPU ledger (ISSUE 9): hot paths re-read ``tel.perf``
+        # per call, so attaching here (before any system is built) is all
+        # the wiring the sim/scheduler/backend layers need.
+        tel.perf = ZoneProfiler()
 
     # The sampler powers the series CSV, report sparklines, windowed SLO
     # throughput checks — and, in streaming/live mode, the shard-flush
@@ -503,6 +561,8 @@ def main(argv=None) -> int:
         tel._append_span = store.append
         tel.stream = store
         tel.histogram_cls = SketchHistogram
+        if profiling:
+            store.perf = tel.perf  # bill shard flushes to telemetry.flush
     if live:
         tel.console = LiveConsole(
             interval_s=args.live, heartbeat_path=args.heartbeat
@@ -520,6 +580,12 @@ def main(argv=None) -> int:
     if fault_plan is not None:
         faults.install_plan(fault_plan)
 
+    profiler = None
+    if sampling_stacks:
+        profiler = SamplingProfiler(hz=args.profile, perf=tel.perf)
+        tel.profiler = profiler  # report.py reads it for the flame summary
+        profiler.start()
+
     try:
         targets = EXPERIMENTS if args.experiment == "all" else [args.experiment]
         for name in targets:
@@ -534,6 +600,9 @@ def main(argv=None) -> int:
                     module.main(scale)
             print(f"[{name} done in {sw.elapsed:.1f}s]\n")
 
+        if profiler is not None:
+            # Freeze the sample set before any exporter reads it.
+            profiler.stop()
         if live:
             tel.console.close(tel)
         if store is not None:
@@ -581,9 +650,23 @@ def main(argv=None) -> int:
                 comparison=delta,
             )
             print(f"[HTML report written to {args.report}]")
+        if args.flame_out is not None:
+            profiler.write_collapsed(args.flame_out)
+            print(f"[collapsed stacks written to {args.flame_out}]")
+        if args.speedscope_out is not None:
+            profiler.write_speedscope(
+                args.speedscope_out,
+                name=f"repro self-profile: {args.experiment}",
+            )
+            print(f"[speedscope profile written to {args.speedscope_out}]")
         if observing:
             print()
             print(summary_table(tel))
+        if profiling:
+            print()
+            print(tel.perf.format_ledger(title="CPU ledger (wall-clock zones)"))
+            if profiler is not None:
+                print(f"[profiler: {profiler.summary()}]")
         if args.analyze:
             print()
             print(render_analysis(analyze(tel, top_k=args.top_k), top_k=args.top_k))
@@ -599,6 +682,8 @@ def main(argv=None) -> int:
                     return 1
                 print("tolerance check passed")
     finally:
+        if profiler is not None:
+            profiler.stop()  # idempotent; covers the exception path
         if observing:
             obs.reset()
         faults.reset_plan()

@@ -507,7 +507,19 @@ def run_open_loop_experiment(
                 abort(exc)
 
     def driver():
-        for ts in traffic.sessions():
+        # Session generation (arrival-process sampling, churn draws, the
+        # k-way merge) all happens inside next(); bill it to the
+        # ``traffic.gen`` wall-clock zone when self-profiling is on.
+        perf = getattr(tel, "perf", None)
+        sessions = iter(traffic.sessions())
+        while True:
+            if perf is not None:
+                perf.push("traffic.gen")
+            ts = next(sessions, None)
+            if perf is not None:
+                perf.pop()
+            if ts is None:
+                break
             if ts.arrival_s > env.now:
                 yield env.timeout(ts.arrival_s - env.now)
             stats["sessions"] += 1

@@ -34,6 +34,7 @@ from repro.obs import (
     SketchHistogram,
     SpanShardStore,
     Telemetry,
+    ZoneProfiler,
     parse_slo_spec,
     slo_violation_predicate,
 )
@@ -74,6 +75,7 @@ def run_point(
     live: Optional[float] = None,
     sample_interval: float = 1.0,
     fault_plan=None,
+    profile: Optional[float] = None,
     prewarm: bool = True,
 ) -> Dict[str, object]:
     """One load point under its own fresh telemetry registry."""
@@ -81,6 +83,11 @@ def run_point(
     label = f"{multiplier:g}x"
     tel = Telemetry()
     tel.sampler = Sampler(interval_s=sample_interval)
+    if profile is not None:
+        # Per-point CPU ledger (ISSUE 9): each load point gets its own
+        # zone profiler so the sweep shows where wall time shifts as
+        # offered load climbs past the knee.
+        tel.perf = ZoneProfiler()
     slo_monitor = parse_slo_spec(slo).bind(tel) if slo is not None else None
     if slo_monitor is not None:
         tel.slo = slo_monitor
@@ -101,6 +108,8 @@ def run_point(
         tel._append_span = store.append
         tel.stream = store
         tel.histogram_cls = SketchHistogram
+        if profile is not None:
+            store.perf = tel.perf
     if live is not None:
         tel.console = LiveConsole(interval_s=live)
 
@@ -142,6 +151,8 @@ def run_point(
         point["slo_max_burn"] = max(
             (row["max_burn_rate"] for row in slo_monitor.summary()), default=0.0
         )
+    if profile is not None:
+        point["cpu_ledger"] = tel.perf.ledger_dict(top=8)
     if res.faults_summary is not None:
         point["faults"] = res.faults_summary
     return point
@@ -188,6 +199,7 @@ def run_sweep(
     live: Optional[float] = None,
     sample_interval: float = 1.0,
     fault_plan=None,
+    profile: Optional[float] = None,
     prewarm: bool = True,
     progress=None,
 ) -> Dict[str, object]:
@@ -207,6 +219,7 @@ def run_sweep(
             live=live,
             sample_interval=sample_interval,
             fault_plan=fault_plan,
+            profile=profile,
             prewarm=prewarm,
         )
         points.append(point)
@@ -370,6 +383,7 @@ def main(
     live: Optional[float] = None,
     sample_interval: float = 1.0,
     fault_plan=None,
+    profile: Optional[float] = None,
     out_json: Optional[str] = None,
     out_html: Optional[str] = None,
 ) -> Dict[str, object]:
@@ -395,10 +409,23 @@ def main(
         live=live,
         sample_interval=sample_interval,
         fault_plan=fault_plan,
+        profile=profile,
         progress=progress,
     )
     print()
     print(format_sweep(doc))
+    if profile is not None:
+        for p in doc["points"]:
+            ledger = p.get("cpu_ledger") or {}
+            zones = ledger.get("zones") or []
+            if zones:
+                top = ", ".join(
+                    f"{z['zone']} {z['self_share']:.0%}" for z in zones[:3]
+                )
+                print(
+                    f"  [{p['multiplier']:g}x] CPU "
+                    f"{ledger['total_self_s']:.2f}s profiled — {top}"
+                )
     if out_json is not None:
         with open(out_json, "w") as fh:
             json.dump(doc, fh, indent=2, sort_keys=True)

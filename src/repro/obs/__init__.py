@@ -26,7 +26,12 @@ whole stack:
   span shard store (JSONL shards + watermark batches + head/tail
   retention) and the single-pass streaming critical-path profiler;
 * :mod:`repro.obs.console` — the live run console and heartbeat JSONL
-  stream driven by the sampler tick (ISSUE 6).
+  stream driven by the sampler tick (ISSUE 6);
+* wall-clock self-profiling (ISSUE 9) — the zone-tagged CPU ledger
+  (:class:`~repro.telemetry.perf.ZoneProfiler`) and the off-thread
+  sampling flamegraph profiler
+  (:class:`~repro.telemetry.profiler.SamplingProfiler`), both living in
+  the bottom-layer :mod:`repro.telemetry` package and re-exported here.
 
 The **default registry** is a process-wide slot consulted by
 :class:`~repro.sim.core.Environment` when no registry is passed
@@ -57,6 +62,8 @@ from repro.obs.stream import (
     profile_stream,
     slo_violation_predicate,
 )
+from repro.telemetry.perf import NO_ZONE, ZoneProfiler, ZoneStat
+from repro.telemetry.profiler import DEFAULT_HZ, SamplingProfiler
 from repro.telemetry.sketch import (
     DEFAULT_RELATIVE_ACCURACY,
     QuantileSketch,
@@ -123,12 +130,14 @@ def reset() -> None:
 __all__ = [
     "AttributionTable",
     "Counter",
+    "DEFAULT_HZ",
     "DEFAULT_RELATIVE_ACCURACY",
     "DecisionLog",
     "Gauge",
     "Histogram",
     "LiveConsole",
     "LogEvent",
+    "NO_ZONE",
     "NULL_ATTRIBUTION",
     "NULL_SERIES",
     "NULL_TELEMETRY",
@@ -142,6 +151,7 @@ __all__ = [
     "RequestBlame",
     "RunProfile",
     "Sampler",
+    "SamplingProfiler",
     "Series",
     "SketchHistogram",
     "SloMonitor",
@@ -153,6 +163,8 @@ __all__ = [
     "StreamProfiler",
     "Telemetry",
     "TenantUsage",
+    "ZoneProfiler",
+    "ZoneStat",
     "analyze",
     "check_tolerances",
     "current",

@@ -129,15 +129,32 @@ class LiveConsole:
 
         run = tel.run_label or f"run{tel.run_id}"
         gpu_util: Dict[str, float] = {}
+        # Sim-speed self-telemetry (ISSUE 9): latest sampler points of
+        # the wall-clock-valued ``sim.*`` series, if the kernel gauges
+        # are being sampled for this run.
+        sim_speedup = None
+        events_ps = None
+        queue_depth = None
         for s in tel.series.values():
-            if s.name != "gpu.util":
-                continue
             labels = dict(s.labels)
             if labels.get("run") not in (run, None):
                 continue
-            point = s.last()
-            if point is not None:
-                gpu_util[str(labels.get("gid", "?"))] = point[1]
+            if s.name == "gpu.util":
+                point = s.last()
+                if point is not None:
+                    gpu_util[str(labels.get("gid", "?"))] = point[1]
+            elif s.name == "sim.speedup":
+                point = s.last()
+                if point is not None:
+                    sim_speedup = point[1]
+            elif s.name == "sim.events_ps":
+                point = s.last()
+                if point is not None:
+                    events_ps = point[1]
+            elif s.name == "sim.queue_depth":
+                point = s.last()
+                if point is not None:
+                    queue_depth = point[1]
 
         # Progress/ETA from the *arrival horizon* in sim time — the only
         # total a duration-bounded open-loop run knows up front (its
@@ -168,6 +185,9 @@ class LiveConsole:
             "progress": round(progress, 4) if progress is not None else None,
             "phase": phase,
             "eta_s": round(eta_s, 1) if eta_s is not None else None,
+            "sim_speedup": round(sim_speedup, 3) if sim_speedup is not None else None,
+            "events_ps": round(events_ps, 1) if events_ps is not None else None,
+            "queue_depth": queue_depth,
         }
         stream = getattr(tel, "stream", None)
         if stream is not None:
@@ -202,6 +222,13 @@ class LiveConsole:
         if snap["gpu_util"]:
             utils = " ".join(f"{u:.2f}" for _g, u in sorted(snap["gpu_util"].items()))
             parts.append(f"util {utils}")
+        if snap.get("sim_speedup") is not None:
+            speed = f"sim x{snap['sim_speedup']:.0f}"
+            if snap.get("events_ps") is not None:
+                speed += f" {self._fmt_count(int(snap['events_ps']))} ev/s"
+            if snap.get("queue_depth") is not None:
+                speed += f" q{int(snap['queue_depth'])}"
+            parts.append(speed)
         if snap.get("phase") == "drain":
             parts.append("drain")
         elif snap.get("eta_s") is not None:

@@ -248,6 +248,13 @@ def metrics_dict(telemetry: Telemetry) -> Dict[str, Any]:
         ],
         "slo": telemetry.slo.summary() if telemetry.slo is not None else [],
         "runs": telemetry.run_id,
+        # Wall-clock CPU ledger (ISSUE 9), present only when the run was
+        # self-profiled; values are host-speed-dependent and advisory.
+        "perf": (
+            telemetry.perf.ledger_dict()
+            if getattr(telemetry, "perf", None) is not None
+            else None
+        ),
         # Critical-path blame vectors (ISSUE 4), so an exported metrics
         # JSON is a self-contained input to `repro.harness analyze/diff`.
         "analysis": analyze(telemetry),
@@ -490,6 +497,16 @@ def summary_table(telemetry: Telemetry) -> str:
             f"span stream: {st['spans_flushed']}/{st['spans_total']} spans "
             f"flushed to {st['shards']} shard(s) in {st['directory']} "
             f"({st['retained_groups']} groups retained in memory)"
+        )
+    perf = getattr(telemetry, "perf", None)
+    if perf is not None and perf.zones:
+        led = perf.ledger()
+        top = ", ".join(
+            f"{st.name} {st.self_s:.3f}s" for st in led[:4]
+        )
+        lines.append(
+            f"CPU ledger: {perf.total_self_s():.3f}s profiled across "
+            f"{len(led)} zones (top: {top})"
         )
     return "\n".join(lines)
 

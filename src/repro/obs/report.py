@@ -439,6 +439,78 @@ def _comparison_section(delta: Dict) -> List[str]:
     return parts
 
 
+def _performance_section(telemetry: Telemetry) -> List[str]:
+    """The "Performance" card body (ISSUE 9): wall-clock zone ledger,
+    sampling-flame summary and the sim-speed sparkline.  Everything here
+    is host-speed-dependent self-telemetry — advisory, never part of any
+    sim-result comparison."""
+    perf = getattr(telemetry, "perf", None)
+    profiler = getattr(telemetry, "profiler", None)
+    parts: List[str] = []
+
+    if perf is not None and perf.zones:
+        total = perf.total_self_s()
+        parts.append(
+            f'<p class="note">CPU ledger: {total:.3f}s of wall clock '
+            f"profiled across {len(perf.zones)} zones (self time; nested "
+            f"zones carve their time out of their parent).</p>"
+        )
+        parts.append(
+            "<table><thead><tr><th>zone</th><th>calls</th>"
+            "<th>total s</th><th>self s</th><th>self share</th>"
+            "</tr></thead><tbody>"
+        )
+        for st in perf.ledger():
+            share = st.self_s / total if total else 0.0
+            parts.append(
+                f'<tr><td class="lbl">{_esc(st.name)}</td><td>{st.calls}</td>'
+                f"<td>{st.total_s:.4f}</td><td>{st.self_s:.4f}</td>"
+                f"<td>{share * 100:.1f}%</td></tr>"
+            )
+        parts.append("</tbody></table>")
+    else:
+        parts.append(
+            '<p class="note">No CPU ledger recorded (run with --profile).</p>'
+        )
+
+    if profiler is not None and profiler.sample_count:
+        zone_counts = profiler.zone_counts()
+        total_samples = sum(zone_counts.values())
+        parts.append("<h3>Sampling flamegraph summary</h3>")
+        parts.append(
+            f'<p class="note">{_esc(profiler.summary())}. Full stacks in '
+            f"the collapsed/speedscope exports (--flame-out / "
+            f"--speedscope-out).</p>"
+        )
+        parts.append(
+            "<table><thead><tr><th>zone tag</th><th>samples</th>"
+            "<th>share</th></tr></thead><tbody>"
+        )
+        for zone, n in list(zone_counts.items())[:12]:
+            parts.append(
+                f'<tr><td class="lbl">{_esc(zone)}</td><td>{n}</td>'
+                f"<td>{n / total_samples * 100:.1f}%</td></tr>"
+            )
+        parts.append("</tbody></table>")
+
+    speed_runs = _series_by_run(telemetry, "sim.speedup")
+    if speed_runs:
+        parts.append("<h3>Simulation speed (sim-seconds per wall-second)</h3>")
+        for run in sorted(speed_runs):
+            for _labels, s in speed_runs[run]:
+                pts = s.downsample(SPARK_POINTS)
+                mean = sum(v for _, v in pts) / len(pts) if pts else 0.0
+                peak = max((v for _, v in pts), default=0.0)
+                parts.append(
+                    '<div class="sparkrow">'
+                    f'<span class="name">{_esc(run or "run")}</span>'
+                    f"{_sparkline(pts)}"
+                    f'<span class="stat">mean x{mean:.0f} · peak x{peak:.0f}'
+                    "</span></div>"
+                )
+    return parts
+
+
 def html_report(
     telemetry: Telemetry,
     title: str = "repro run report",
@@ -503,6 +575,17 @@ def html_report(
     parts.append('<div class="card"><h2>SLO compliance</h2>')
     parts.extend(_slo_section(telemetry))
     parts.append("</div>")
+
+    # Self-profiling card (ISSUE 9): only rendered when the run carried
+    # a zone ledger, a stack sampler or sim-speed series.
+    if (
+        getattr(telemetry, "perf", None) is not None
+        or getattr(telemetry, "profiler", None) is not None
+        or _series_by_run(telemetry, "sim.speedup")
+    ):
+        parts.append('<div class="card"><h2>Performance</h2>')
+        parts.extend(_performance_section(telemetry))
+        parts.append("</div>")
 
     # Footer: data-completeness notes (ISSUE 6 satellite) — dropped ring
     # samples and span-stream shard stats, so a report over partial data

@@ -58,6 +58,11 @@ class Environment:
         self._queue: List[_QueueEntry] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        #: Cumulative events dispatched by :meth:`step` — a plain int
+        #: kernel-health counter (one integer add per event) that the
+        #: interval sampler turns into registry gauges/series (ISSUE 9);
+        #: the null path never touches the registry for it.
+        self.events_processed = 0
         self.telemetry = telemetry if telemetry is not None else _telemetry.current()
         self.telemetry.attach(self)
 
@@ -76,6 +81,11 @@ class Environment:
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._queue[0][0] if self._queue else float("inf")
+
+    @property
+    def queue_depth(self) -> int:
+        """Number of events currently scheduled (kernel-health gauge)."""
+        return len(self._queue)
 
     # -- scheduling ----------------------------------------------------------
 
@@ -126,6 +136,7 @@ class Environment:
             self._now, _, _, event = heapq.heappop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
+        self.events_processed += 1
 
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:  # pragma: no cover - defensive
@@ -149,7 +160,23 @@ class Environment:
             * a number — run until the clock reaches that time;
             * an :class:`Event` — run until the event is processed, and
               return its value (re-raising its failure, if any).
+
+        When a wall-clock zone profiler is attached (``telemetry.perf``,
+        ISSUE 9) the whole loop runs inside the root ``sim.kernel`` zone,
+        so the kernel's *self* time is pure event dispatch: every
+        instrumented subsystem (issue loop, policies, sampler, ...) opens
+        a nested zone that carves its own time out of the root.
         """
+        perf = getattr(self.telemetry, "perf", None)
+        if perf is None:
+            return self._run(until)
+        perf.push("sim.kernel")
+        try:
+            return self._run(until)
+        finally:
+            perf.pop()
+
+    def _run(self, until: Union[None, float, Event] = None) -> Any:
         stop: Optional[Event] = None
         if until is not None:
             if isinstance(until, Event):

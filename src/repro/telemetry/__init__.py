@@ -14,7 +14,9 @@ layer may import without creating upward dependencies.  It holds
 * :mod:`repro.telemetry.attribution` — per-(tenant, GPU) usage
   accounting;
 * :mod:`repro.telemetry.timeseries` — ring-buffered series + the
-  sim-time :class:`Sampler`.
+  sim-time :class:`Sampler`;
+* :mod:`repro.telemetry.perf` / :mod:`repro.telemetry.profiler` — the
+  wall-clock zone ledger and the background stack sampler (ISSUE 9).
 
 The high-level observability package :mod:`repro.obs` (exporters,
 reports, SLOs, the critical-path profiler) builds *on top of* this kernel
@@ -65,6 +67,8 @@ from repro.telemetry.instruments import (
     Telemetry,
     format_series_name,
 )
+from repro.telemetry.perf import NO_ZONE, ZoneProfiler, ZoneStat
+from repro.telemetry.profiler import DEFAULT_HZ, SamplingProfiler
 from repro.telemetry.sketch import (
     DEFAULT_RELATIVE_ACCURACY,
     QuantileSketch,
@@ -105,11 +109,13 @@ __all__ = [
     "CAT_REQUEST",
     "CAT_STAGING",
     "Counter",
+    "DEFAULT_HZ",
     "DEFAULT_RELATIVE_ACCURACY",
     "DecisionLog",
     "Gauge",
     "Histogram",
     "LogEvent",
+    "NO_ZONE",
     "NULL_ATTRIBUTION",
     "NULL_SERIES",
     "NULL_TELEMETRY",
@@ -122,6 +128,7 @@ __all__ = [
     "QuantileSketch",
     "REQUEST_PHASES",
     "Sampler",
+    "SamplingProfiler",
     "SamplingTelemetry",
     "Series",
     "SketchHistogram",
@@ -129,6 +136,8 @@ __all__ = [
     "Stopwatch",
     "Telemetry",
     "TenantUsage",
+    "ZoneProfiler",
+    "ZoneStat",
     "current",
     "format_series_name",
     "install",

@@ -1,0 +1,224 @@
+"""Background sampling profiler with zone-tagged stacks (ISSUE 9).
+
+A :class:`SamplingProfiler` is a daemon thread that wakes at a fixed
+rate, snapshots the *target* thread's Python stack via
+:func:`sys._current_frames`, tags the sample with the zone currently on
+top of the attached :class:`~repro.telemetry.perf.ZoneProfiler` stack,
+and accumulates ``(zone, stack) -> count``.  Two export formats:
+
+* **collapsed-stack text** (`Brendan Gregg's flamegraph input`):
+  ``zone;frame;frame;... count`` per line, root-first — pipe through
+  ``flamegraph.pl`` or load into speedscope/inferno directly;
+* **speedscope JSON** (``"sampled"`` profile type, unit ``none`` — one
+  weight per captured sample) for interactive flamegraph browsing at
+  https://www.speedscope.app.
+
+Thread-safety argument (DESIGN.md §15): the profiler thread only ever
+*reads* — the interpreter's frame objects under the GIL (the same
+contract ``py-spy``-style wall profilers rely on for in-process
+sampling via :func:`sys._current_frames`) and the zone profiler's
+``current`` attribute (a single load of an immutable string the sim
+thread overwrites atomically).  It never touches sim RNG, sim time or
+the event queue, so a profiled run's *simulated* results are
+byte-identical to an unprofiled one; the worst race outcome is one
+sample attributed to the zone the sim thread was about to enter/leave.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Tuple
+
+from .perf import NO_ZONE, ZoneProfiler
+
+#: Default sampling rate for ``--profile`` with no argument.  A prime
+#: rate avoids phase-locking with periodic work (sampler ticks, flush
+#: cadences) that would bias the histogram.
+DEFAULT_HZ = 97.0
+
+#: Stack capture depth cap; deeper frames are folded into a marker.
+MAX_FRAMES = 80
+
+_TRUNCATED = "(truncated)"
+
+
+def _frame_label(frame) -> str:
+    code = frame.f_code
+    return f"{code.co_name} ({os.path.basename(code.co_filename)}:{code.co_firstlineno})"
+
+
+class SamplingProfiler:
+    """Off-thread stack sampler; samples are tagged with the live zone.
+
+    Parameters
+    ----------
+    hz:
+        Target sampling rate.  Actual rate is bounded by timer
+        resolution and GIL handoff; :attr:`sample_count` and
+        :attr:`elapsed_s` record what was achieved.
+    perf:
+        Optional :class:`ZoneProfiler` whose ``current`` zone label tags
+        each sample (``NO_ZONE`` when the stack is empty or no zone
+        profiler is attached).
+    """
+
+    def __init__(
+        self,
+        hz: float = DEFAULT_HZ,
+        perf: Optional[ZoneProfiler] = None,
+        max_frames: int = MAX_FRAMES,
+    ) -> None:
+        if hz <= 0:
+            raise ValueError(f"sampling rate must be positive, got {hz!r}")
+        self.hz = float(hz)
+        self.perf = perf
+        self.max_frames = int(max_frames)
+        # (zone, root-first stack tuple) -> number of samples.
+        self.samples: Dict[Tuple[str, Tuple[str, ...]], int] = {}
+        self.sample_count = 0
+        self.elapsed_s = 0.0
+        self._target_tid: Optional[int] = None
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._started_at = 0.0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self, target_thread_id: Optional[int] = None) -> None:
+        """Begin sampling the calling thread (or ``target_thread_id``)."""
+        if self._thread is not None:
+            raise RuntimeError("profiler already started")
+        self._target_tid = (
+            target_thread_id if target_thread_id is not None else threading.get_ident()
+        )
+        self._stop.clear()
+        self._started_at = perf_counter()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-prof-sampler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the sampler thread and freeze :attr:`elapsed_s`."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        self.elapsed_s = perf_counter() - self._started_at
+
+    def __enter__(self) -> "SamplingProfiler":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- sampling loop (profiler thread) -------------------------------------
+
+    def _loop(self) -> None:
+        period = 1.0 / self.hz
+        while not self._stop.wait(period):
+            self._sample_once()
+
+    def _sample_once(self) -> None:
+        frame = sys._current_frames().get(self._target_tid)
+        if frame is None:
+            return
+        stack: List[str] = []
+        depth = 0
+        while frame is not None:
+            if depth >= self.max_frames:
+                stack.append(_TRUNCATED)
+                break
+            stack.append(_frame_label(frame))
+            frame = frame.f_back
+            depth += 1
+        stack.reverse()  # root-first
+        perf = self.perf
+        zone = (perf.current if perf is not None else "") or NO_ZONE
+        key = (zone, tuple(stack))
+        self.samples[key] = self.samples.get(key, 0) + 1
+        self.sample_count += 1
+
+    # -- exports -------------------------------------------------------------
+
+    def zone_counts(self) -> Dict[str, int]:
+        """Samples per zone tag, descending."""
+        out: Dict[str, int] = {}
+        for (zone, _stack), n in self.samples.items():
+            out[zone] = out.get(zone, 0) + n
+        return dict(sorted(out.items(), key=lambda kv: (-kv[1], kv[0])))
+
+    def collapsed(self) -> str:
+        """Collapsed-stack text: ``zone;frame;... count`` per line."""
+        lines = []
+        for (zone, stack), n in sorted(self.samples.items()):
+            lines.append(";".join((zone,) + stack) + f" {n}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def speedscope(self, name: str = "repro self-profile") -> Dict[str, Any]:
+        """Speedscope file-format document (``sampled`` profile type)."""
+        frames: List[Dict[str, str]] = []
+        index: Dict[str, int] = {}
+        samples: List[List[int]] = []
+        weights: List[int] = []
+        for (zone, stack), n in sorted(self.samples.items()):
+            idxs = []
+            for label in (zone,) + stack:
+                i = index.get(label)
+                if i is None:
+                    i = index[label] = len(frames)
+                    frames.append({"name": label})
+                idxs.append(i)
+            samples.append(idxs)
+            weights.append(n)
+        return {
+            "$schema": "https://www.speedscope.app/file-format-schema.json",
+            "name": name,
+            "exporter": "repro.telemetry.profiler",
+            "shared": {"frames": frames},
+            "profiles": [
+                {
+                    "type": "sampled",
+                    "name": name,
+                    "unit": "none",
+                    "startValue": 0,
+                    "endValue": sum(weights),
+                    "samples": samples,
+                    "weights": weights,
+                }
+            ],
+        }
+
+    def write_collapsed(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.collapsed())
+
+    def write_speedscope(self, path: str, name: str = "repro self-profile") -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.speedscope(name=name), fh, separators=(",", ":"))
+            fh.write("\n")
+
+    def summary(self, top: int = 5) -> str:
+        """One-paragraph digest: achieved rate + hottest zone tags."""
+        rate = self.sample_count / self.elapsed_s if self.elapsed_s > 0 else 0.0
+        parts = [
+            f"{self.sample_count} samples"
+            + (f" @ {rate:.0f} Hz achieved (target {self.hz:.0f} Hz)" if rate else "")
+        ]
+        zc = self.zone_counts()
+        total = sum(zc.values())
+        if total:
+            hot = ", ".join(
+                f"{zone} {n / total:.0%}" for zone, n in list(zc.items())[:top]
+            )
+            parts.append(f"hottest zones: {hot}")
+        return "; ".join(parts)
+
+
+__all__ = ["DEFAULT_HZ", "MAX_FRAMES", "SamplingProfiler"]

@@ -19,6 +19,7 @@ Design constraints:
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, List, Optional, Tuple
 
 from repro.telemetry.instruments import _labels_key, format_series_name
@@ -161,7 +162,18 @@ class Sampler:
     ``sft.updates``     cumulative SFT folds
     ``policy.fallback`` cold-start fallback decisions (feedback policies)
     ``policy.feedback`` SFT-informed decisions (feedback policies)
+    ``sim.speedup``     sim-seconds advanced per wall-clock second (ISSUE 9)
+    ``sim.events_ps``   DES events dispatched per wall-clock second
+    ``sim.queue_depth`` events currently scheduled in the kernel heap
     ==================  =====================================================
+
+    The three ``sim.*`` series are *wall-clock-valued* self-telemetry:
+    their sample values depend on host speed and are deliberately kept
+    out of every sim-result comparison (the perf gate compares sim-time
+    blame vectors only).  Mirrored into ``sim.events_processed`` /
+    ``sim.queue_depth`` registry gauges for scrapes; the null path never
+    reaches this loop, so the kernel's plain int counter stays the only
+    always-on cost.
     """
 
     def __init__(self, interval_s: float = 1.0, capacity: int = 1024) -> None:
@@ -253,16 +265,43 @@ class Sampler:
         stream_flush = getattr(getattr(tel, "stream", None), "flush", None)
         console_tick = getattr(getattr(tel, "console", None), "tick", None)
 
+        # Sim-speed self-telemetry (ISSUE 9): wall-clock deltas between
+        # ticks turn the kernel's event counter into rates.  The zone
+        # profiler (if any) bills the whole tick body to
+        # ``telemetry.sampler`` so sampling cost shows in the CPU ledger.
+        perf = getattr(tel, "perf", None)
+        speedup_s = ts("sim.speedup")
+        events_ps_s = ts("sim.events_ps")
+        qdepth_s = ts("sim.queue_depth")
+        events_gauge = tel.gauge("sim.events_processed", run=run)
+        qdepth_gauge = tel.gauge("sim.queue_depth", run=run)
+        prev_wall = perf_counter()
+        prev_events = env.events_processed
+
         prev_busy = [r[0].busy_seconds() for r in rows]
         prev_signals = [r[7].signals if r[7] is not None else 0 for r in rows]
         sft_seen = None  # (rows, folds) of the last stored SFT snapshot
         last = env.now
         while True:
             yield env.timeout(self.interval_s)
+            if perf is not None:
+                perf.push("telemetry.sampler")
             now = env.now
             dt = now - last
             last = now
             self.ticks += 1
+            wall = perf_counter()
+            wall_dt = wall - prev_wall
+            prev_wall = wall
+            events = env.events_processed
+            depth = env.queue_depth
+            if wall_dt > 0:
+                speedup_s.append(now, dt / wall_dt)
+                events_ps_s.append(now, (events - prev_events) / wall_dt)
+            prev_events = events
+            qdepth_s.append(now, depth)
+            events_gauge.set(events)
+            qdepth_gauge.set(depth)
             for i, (compute, h2d, d2h, util_a, active_a, copyq_a,
                     rcb, gate, rcb_a, signal_a,
                     dst_row, load_a, est_a, weight_a) in enumerate(rows):
@@ -301,6 +340,8 @@ class Sampler:
                 stream_flush(now)
             if console_tick is not None:
                 console_tick(now, tel)
+            if perf is not None:
+                perf.pop()
 
 
 __all__ = ["NULL_SERIES", "Sampler", "Series"]

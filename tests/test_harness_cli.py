@@ -277,3 +277,82 @@ def test_cli_scale_sweep_runs_and_writes_artifacts(capsys, tmp_path):
     assert "knee_multiplier" in doc
     html = out_html.read_text()
     assert "<svg" in html and "goodput" in html
+
+
+# -- wall-clock self-profiling (ISSUE 9) ------------------------------------
+
+
+def test_cli_profile_flag_validation(capsys):
+    with pytest.raises(SystemExit):
+        main(["fig1", "--profile", "-5"])
+    assert "--profile" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        main(["fig1", "--flame-out", "x.txt"])
+    assert "requires --profile" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        main(["fig1", "--profile", "0", "--speedscope-out", "x.json"])
+    assert "requires --profile" in capsys.readouterr().err
+
+
+def test_cli_profile_round_trip_writes_artifacts(capsys, tmp_path):
+    import json as _json
+
+    flame = tmp_path / "flame.txt"
+    speedscope = tmp_path / "profile.json"
+    rc = main([
+        "fig2", "--scale", "quick", "--profile", "200",
+        "--flame-out", str(flame),
+        "--speedscope-out", str(speedscope),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "CPU ledger (wall-clock zones)" in out
+    assert "sim.kernel" in out
+    # Collapsed stacks: "zone;frame;... count" lines.
+    for line in flame.read_text().splitlines():
+        head, count = line.rsplit(" ", 1)
+        assert int(count) >= 1 and ";" in head
+    doc = _json.loads(speedscope.read_text())
+    assert doc["$schema"] == "https://www.speedscope.app/file-format-schema.json"
+    prof = doc["profiles"][0]
+    assert prof["type"] == "sampled"
+    assert prof["endValue"] == sum(prof["weights"])
+    n_frames = len(doc["shared"]["frames"])
+    assert all(0 <= i < n_frames for s in prof["samples"] for i in s)
+
+
+def test_cli_profile_zones_only_skips_sampler(capsys):
+    # hz=0: the zone ledger runs but no sampler thread is started.
+    assert main(["fig2", "--scale", "quick", "--profile", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "CPU ledger (wall-clock zones)" in out
+    assert "sim.kernel" in out
+    assert "[profiler:" not in out
+
+
+def test_cli_profile_rejected_for_scale_flame_outputs(capsys, tmp_path):
+    with pytest.raises(SystemExit):
+        main([
+            "scale", "--profile", "--flame-out", str(tmp_path / "f.txt"),
+        ])
+    assert "do not apply to the 'scale'" in capsys.readouterr().err
+
+
+def test_cli_scale_profile_records_per_point_ledgers(capsys, tmp_path):
+    import json as _json
+
+    out_json = tmp_path / "sweep.json"
+    rc = main([
+        "scale",
+        "--traffic", "poisson:rate=3,tenants=20,churn=exp:10,duration=15,apps=GA",
+        "--loads", "1",
+        "--profile", "0",
+        "--scale-out", str(out_json),
+    ])
+    assert rc == 0
+    doc = _json.loads(out_json.read_text())
+    for p in doc["points"]:
+        ledger = p["cpu_ledger"]
+        assert ledger["total_self_s"] > 0
+        zones = {z["zone"] for z in ledger["zones"]}
+        assert "sim.kernel" in zones
