@@ -109,9 +109,11 @@ def main(argv=None) -> int:
         help="requests per tenant stream (default 6, CI-sized)",
     )
     args = parser.parse_args(argv)
+    from repro.harness.registry import to_jsonable
+
     rows = sweep(args.requests)
     with open(OUT_PATH, "w") as fh:
-        json.dump({"rows": rows}, fh, indent=2)
+        json.dump({"rows": to_jsonable(rows)}, fh, indent=2)
     print(f"[written to {OUT_PATH}]")
     return 0
 

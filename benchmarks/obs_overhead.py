@@ -126,7 +126,7 @@ def main(argv=None) -> int:
     import shutil
     import tempfile
 
-    from repro.obs import SamplingTelemetry, SketchHistogram, SpanShardStore, Telemetry
+    from repro.obs import SamplingTelemetry, Telemetry, attach_store
 
     stream_dir = tempfile.mkdtemp(prefix="bench-obs-stream-")
 
@@ -134,11 +134,7 @@ def main(argv=None) -> int:
         # Mirrors the harness --stream-dir wiring: shard-flushed spans
         # plus mergeable sketches behind Telemetry.histogram().
         tel = Telemetry()
-        store = SpanShardStore(os.path.join(stream_dir, str(time.monotonic_ns())))
-        tel.spans = store
-        tel._append_span = store.append
-        tel.stream = store
-        tel.histogram_cls = SketchHistogram
+        attach_store(tel, os.path.join(stream_dir, str(time.monotonic_ns())))
         return tel
 
     try:

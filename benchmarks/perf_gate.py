@@ -84,11 +84,16 @@ def exponential_stream_for(app, rng, scale):
 
 
 def _scenario_chaos(telemetry):
-    """The chaos fault-injection scenario at quick scale."""
-    from repro.harness.chaos import run as chaos_run
+    """The chaos fault-injection scenario at quick scale, run through the
+    experiment registry (same ``chaos.run`` underneath, so the sim-time
+    vector is unchanged)."""
+    from repro.harness import registry
     from repro.harness.runner import SCALE_QUICK
 
-    chaos_run(scale=SCALE_QUICK, telemetry=telemetry)
+    exp = registry.get("chaos")()
+    ctx = registry.ExperimentContext(scale=SCALE_QUICK, telemetry=telemetry)
+    exp.prepare(ctx)
+    exp.run(ctx)
 
 
 def _scenario_scaleout(telemetry):

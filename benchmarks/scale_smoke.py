@@ -48,18 +48,14 @@ MEMORY_CEILING_BYTES = 40 * 1024 * 1024
 
 def run_once(stream_dir):
     from repro.cluster import build_paper_supernode
-    from repro.obs import Sampler, SketchHistogram, SpanShardStore, Telemetry
+    from repro.obs import Sampler, Telemetry, attach_store
     from repro.traffic import TrafficGenerator, parse_traffic_spec
     from repro.harness.runner import run_open_loop_experiment, system_factories
 
     gen = TrafficGenerator(parse_traffic_spec(TRAFFIC), seed=SEED)
     tel = Telemetry()
     tel.sampler = Sampler(interval_s=1.0)
-    store = SpanShardStore(stream_dir, buffer_limit=4096)
-    tel.spans = store
-    tel._append_span = store.append
-    tel.stream = store
-    tel.histogram_cls = SketchHistogram
+    store = attach_store(tel, stream_dir, buffer_limit=4096)
     res = run_open_loop_experiment(
         system_factories()["GMin-Strings"],
         gen,

@@ -79,9 +79,8 @@ def main(argv=None) -> int:
 
     from repro.obs import (
         LiveConsole,
-        SketchHistogram,
-        SpanShardStore,
         Telemetry,
+        attach_store,
         profile_shard_dir,
         profile_requests,
     )
@@ -94,11 +93,7 @@ def main(argv=None) -> int:
     hb_path = os.path.join(workdir, "heartbeat.jsonl")
 
     tel = Telemetry()
-    store = SpanShardStore(shard_dir, buffer_limit=2048)
-    tel.spans = store
-    tel._append_span = store.append
-    tel.stream = store
-    tel.histogram_cls = SketchHistogram
+    store = attach_store(tel, shard_dir, buffer_limit=2048)
     tel.console = LiveConsole(
         interval_s=0.05, heartbeat_path=hb_path, out=sys.stderr
     )

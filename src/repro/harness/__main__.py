@@ -10,16 +10,16 @@ import repro.cluster.network as network_mod
 import repro.faults as faults
 import repro.obs as obs
 from repro.traffic import parse_traffic_spec
+from repro.harness import registry
 from repro.harness.runner import SCALE_PAPER, SCALE_QUICK
 from repro.obs import (
     DEFAULT_HZ,
     LiveConsole,
     Sampler,
     SamplingProfiler,
-    SketchHistogram,
-    SpanShardStore,
     Telemetry,
     ZoneProfiler,
+    attach_store,
     analyze,
     check_tolerances,
     diff_runs,
@@ -50,6 +50,10 @@ EXTENSIONS = ["scaleout", "ablations", "chaos", "scale"]
 #: Offline analysis tools over previously exported runs (ISSUE 4).
 TOOLS = ["analyze", "diff"]
 
+#: Registry commands (ISSUE 10): ``list`` prints the discovered registry,
+#: ``run <name>`` executes any registered experiment by name.
+COMMANDS = ["list", "run"]
+
 
 def _load_metrics_doc(parser, flag: str, path: str) -> dict:
     """Load an exported metrics JSON, parser.error-ing on bad input."""
@@ -72,11 +76,21 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=EXPERIMENTS + EXTENSIONS + TOOLS + ["all"],
+        choices=EXPERIMENTS + EXTENSIONS + TOOLS + COMMANDS + ["all"],
         help="which table/figure to regenerate ('all' runs the paper's set); "
+        "'list' prints the experiment registry, 'run NAME' executes any "
+        "registered experiment; "
         "'analyze' prints the critical-path blame of a saved run "
-        "(--run RUN.json), 'diff' compares two saved runs "
+        "(--run RUN.json), re-renders a cached run directory "
+        "(--from DIR), or profiles a shard dir (--stream-dir DIR); "
+        "'diff' compares two saved runs "
         "(--run RUN.json --baseline BASE.json)",
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="experiment name for the 'run' command (see 'list')",
     )
     parser.add_argument(
         "--scale",
@@ -303,8 +317,70 @@ def main(argv=None) -> int:
         "'kernel=0.05,p99=0.10,default=0.02' (KEY=FRACTION items; exit 1 "
         "when a diff exceeds them)",
     )
+    parser.add_argument(
+        "--out-dir",
+        metavar="DIR",
+        default=None,
+        help="persist the run's artifacts (experiment.json + results.json) "
+        "to DIR, re-renderable offline via 'analyze --from DIR'",
+    )
+    parser.add_argument(
+        "--from",
+        dest="from_dir",
+        metavar="DIR",
+        default=None,
+        help="'analyze' tool: re-render the report of a cached run "
+        "directory (an earlier --out-dir) from its artifacts, without "
+        "re-simulating",
+    )
+    parser.add_argument(
+        "-O",
+        "--opt",
+        metavar="KEY=VALUE",
+        action="append",
+        default=None,
+        help="experiment option passed into the registry context, e.g. "
+        "-O policy=GMin-Rain or -O pairs='[\"G\",\"K\"]' (VALUE parsed as "
+        "JSON when possible, kept as a string otherwise; repeatable)",
+    )
     args = parser.parse_args(argv)
     scale = SCALE_QUICK if args.scale == "quick" else SCALE_PAPER
+
+    cli_opts = {}
+    for item in args.opt or ():
+        if "=" not in item:
+            parser.error(f"--opt expects KEY=VALUE, got {item!r}")
+        key, value = item.split("=", 1)
+        try:
+            cli_opts[key] = json.loads(value)
+        except json.JSONDecodeError:
+            cli_opts[key] = value
+
+    # -- registry commands (ISSUE 10) --------------------------------------
+    if args.experiment == "list":
+        if args.target is not None:
+            parser.error("'list' takes no experiment name")
+        print(registry.format_listing())
+        return 0
+    if args.experiment == "run":
+        if args.target is None:
+            parser.error(
+                "'run' needs an experiment name "
+                "(see 'python -m repro.harness list')"
+            )
+        try:
+            args.experiment = registry.get(args.target).name
+        except registry.UnknownExperiment as e:
+            parser.error(str(e))
+    elif args.target is not None:
+        parser.error(
+            f"unexpected argument {args.target!r} "
+            "(only 'run' takes an experiment name)"
+        )
+    if args.from_dir is not None and args.experiment != "analyze":
+        parser.error("--from only applies to the 'analyze' tool")
+    if args.out_dir is not None and args.experiment in TOOLS + ["all"]:
+        parser.error("--out-dir needs a single experiment run")
 
     if args.sample_interval <= 0:
         parser.error(
@@ -343,6 +419,15 @@ def main(argv=None) -> int:
 
     # -- offline tools: no simulation, just saved-run post-processing ------
     if args.experiment == "analyze":
+        if args.from_dir is not None:
+            # Cached-run re-analysis (ISSUE 10): re-render the registered
+            # experiment's report from its saved artifacts; nothing below
+            # constructs a simulation Environment.
+            try:
+                print(registry.analyze_from(args.from_dir, options=cli_opts))
+            except (ValueError, registry.UnknownExperiment) as e:
+                parser.error(f"--from: {e}")
+            return 0
         if args.run is None and args.stream_dir is not None:
             # Offline shard-dir analysis: profile the stream directly
             # from its JSONL shards, no registry or metrics export needed.
@@ -505,6 +590,7 @@ def main(argv=None) -> int:
             profile=args.profile,
             out_json=args.scale_out,
             out_html=args.scale_report,
+            out_dir=args.out_dir,
         )
         return 0
 
@@ -542,8 +628,12 @@ def main(argv=None) -> int:
 
     store = None
     if streaming:
+        # Point the registry's span sink at a shard store and swap in the
+        # mergeable quantile sketch behind Telemetry.histogram(); the
+        # default (non-streaming) path is untouched and byte-identical.
         try:
-            store = SpanShardStore(
+            store = attach_store(
+                tel,
                 args.stream_dir,
                 buffer_limit=args.span_buffer,
                 violation=(
@@ -554,15 +644,6 @@ def main(argv=None) -> int:
             )
         except OSError as e:
             parser.error(f"--stream-dir: cannot create {args.stream_dir}: {e}")
-        # Point the registry's span sink at the store and swap in the
-        # mergeable quantile sketch behind Telemetry.histogram(); the
-        # default (non-streaming) path is untouched and byte-identical.
-        tel.spans = store
-        tel._append_span = store.append
-        tel.stream = store
-        tel.histogram_cls = SketchHistogram
-        if profiling:
-            store.perf = tel.perf  # bill shard flushes to telemetry.flush
     if live:
         tel.console = LiveConsole(
             interval_s=args.live, heartbeat_path=args.heartbeat
@@ -589,15 +670,14 @@ def main(argv=None) -> int:
     try:
         targets = EXPERIMENTS if args.experiment == "all" else [args.experiment]
         for name in targets:
-            module = __import__(f"repro.harness.{name}", fromlist=["main"])
             print(f"==== {name} ".ljust(70, "="))
             with tel.stopwatch("experiment.wall_s", experiment=name) as sw:
-                if name in ("table1", "fig1"):
-                    module.main()
-                elif name == "scaleout":
-                    module.main(scale, system=args.system)
-                else:
-                    module.main(scale)
+                opts = dict(cli_opts)
+                if name == "scaleout":
+                    opts.setdefault("system", args.system)
+                registry.run_main(
+                    name, scale=scale, out_dir=args.out_dir, **opts
+                )
             print(f"[{name} done in {sw.elapsed:.1f}s]\n")
 
         if profiler is not None:

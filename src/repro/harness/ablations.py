@@ -20,6 +20,7 @@ from repro.core.config import SchedulerConfig
 from repro.core.policies import GMin, LAS, MBF, TFS
 from repro.apps import app_by_short, run_request
 from repro.metrics import jains_fairness
+from repro.harness import registry
 from repro.harness.runner import (
     ExperimentScale,
     SCALE_PAPER,
@@ -198,49 +199,62 @@ def run(scale: ExperimentScale = SCALE_PAPER) -> Dict[str, object]:
     }
 
 
-def main(scale: ExperimentScale = SCALE_PAPER) -> str:
-    data = run(scale)
-    lines: List[str] = ["Ablations — contribution of each Strings mechanism", ""]
+@registry.register("ablations", aliases=("ablate",))
+class Ablations(registry.Experiment):
+    """Ablations — per-mechanism contribution of Strings' design choices."""
 
-    for title, key, unit in (
-        ("Context packing (makespan, 2xMC + 2xDC)", "context_packing_makespan_s", "s"),
-        ("Memory Operation Translator (makespan, 2xMC)", "mot_makespan_s", "s"),
-        ("Sync Stream Translator (GA completion next to DC)", "sst_short_tenant_completion_s", "s"),
-        ("TFS history penalty (Jain fairness)", "tfs_history_fairness", ""),
-    ):
-        block = data[key]
-        lines.append(title)
-        for label, value in block.items():
-            lines.append(f"  {label:18s} {value:8.3f}{unit}")
+    def run(self, ctx: registry.ExperimentContext):
+        return run(ctx.scale)
+
+    def analyze(self, data, ctx: registry.ExperimentContext) -> str:
+        lines: List[str] = ["Ablations — contribution of each Strings mechanism", ""]
+
+        for title, key, unit in (
+            ("Context packing (makespan, 2xMC + 2xDC)", "context_packing_makespan_s", "s"),
+            ("Memory Operation Translator (makespan, 2xMC)", "mot_makespan_s", "s"),
+            ("Sync Stream Translator (GA completion next to DC)", "sst_short_tenant_completion_s", "s"),
+            ("TFS history penalty (Jain fairness)", "tfs_history_fairness", ""),
+        ):
+            block = data[key]
+            lines.append(title)
+            for label, value in block.items():
+                lines.append(f"  {label:18s} {value:8.3f}{unit}")
+            lines.append("")
+
+        designs = data["backend_design_ga_completion_s"]
+        lines.append("Backend designs (GA completion next to DC, Fig. 5)")
+        for label, value in designs.items():
+            if label == "hol_blocking_penalty_x":
+                continue
+            lines.append(f"  {label:26s} {value:8.3f}s")
+        lines.append(
+            "  Design II head-of-line blocking penalty: "
+            f"{designs['hol_blocking_penalty_x']:.2f}x vs Design III"
+        )
         lines.append("")
 
-    designs = data["backend_design_ga_completion_s"]
-    lines.append("Backend designs (GA completion next to DC, Fig. 5)")
-    for label, value in designs.items():
-        if label == "hol_blocking_penalty_x":
-            continue
-        lines.append(f"  {label:26s} {value:8.3f}s")
-    lines.append(
-        "  Design II head-of-line blocking penalty: "
-        f"{designs['hol_blocking_penalty_x']:.2f}x vs Design III"
-    )
-    lines.append("")
+        lines.append("LAS decay constant k (per-app mean completion, 5 tenants)")
+        for k, shared in data["las_k_completions_s"].items():
+            cells = "  ".join(f"{a} {t:7.2f}s" for a, t in sorted(shared.items()))
+            lines.append(f"  {k:6s} {cells}")
+        lines.append("")
 
-    lines.append("LAS decay constant k (per-app mean completion, 5 tenants)")
-    for k, shared in data["las_k_completions_s"].items():
-        cells = "  ".join(f"{a} {t:7.2f}s" for a, t in sorted(shared.items()))
-        lines.append(f"  {k:6s} {cells}")
-    lines.append("")
+        cold = data["arbiter_cold_start"]
+        # The arbiter reports transitions as (profile_count, policy)
+        # tuples; the JSON round-trip turns tuples into lists, so re-tuple
+        # before rendering to keep the report stable across live and
+        # cached analysis.
+        transitions = [tuple(t) for t in cold["transitions"]]
+        lines.append(
+            "Policy Arbiter cold start: switched="
+            f"{cold['switched']} at profile {cold['switched_at_profile']} "
+            f"(transitions {transitions})"
+        )
+        return "\n".join(lines)
 
-    cold = data["arbiter_cold_start"]
-    lines.append(
-        "Policy Arbiter cold start: switched="
-        f"{cold['switched']} at profile {cold['switched_at_profile']} "
-        f"(transitions {cold['transitions']})"
-    )
-    out = "\n".join(lines)
-    print(out)
-    return out
+
+def main(scale: ExperimentScale = SCALE_PAPER) -> str:
+    return registry.run_main("ablations", scale=scale)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -20,6 +20,7 @@ from repro.apps.catalog import app_by_short
 from repro.faults import FaultPlan, RetryPolicy
 from repro.metrics import mean_completion_s
 from repro.workloads import exponential_stream
+from repro.harness import registry
 from repro.harness.format import format_table
 from repro.harness.runner import (
     ExperimentScale,
@@ -101,34 +102,46 @@ def run(
     }
 
 
-def main(scale: ExperimentScale = SCALE_PAPER) -> str:
-    data = run(scale)
-    downtime = data["tenant_downtime_s"]
-    rows = [
-        [tenant, short, f"node{node}", downtime.get(tenant, 0.0)]
-        for short, tenant, node in TENANTS
-    ]
-    out = format_table(
-        ["Tenant", "App", "Frontend", "Fault downtime (s)"],
-        rows,
-        title="Chaos — per-tenant fault-attributable downtime "
-        f"({data['policy']}, 4-GPU supernode)",
-    )
-    print(out)
-    print(
-        f"faults injected: {data['faults_injected']}  "
-        f"retries: {data['retries']}  re-dispatched: {data['redispatched']}"
-    )
-    print(
-        f"goodput: {data['goodput_rps']:.3f} req/s  "
-        f"mean completion: {data['mean_completion_s']:.2f}s  "
-        f"GPU downtime: "
-        + ", ".join(
-            f"GPU{g}={s:.1f}s" for g, s in sorted(data["gpu_downtime_s"].items())
+@registry.register("chaos")
+class Chaos(registry.Experiment):
+    """Chaos — zero-loss self-healing under an injected GPU loss + crash."""
+
+    def run(self, ctx: registry.ExperimentContext):
+        return run(
+            ctx.scale,
+            policy=str(ctx.option("policy", DEFAULT_POLICY)),
+            telemetry=ctx.telemetry,
         )
-    )
-    print(f"[chaos] requests lost: {data['lost']} of {data['offered']} offered")
-    return out
+
+    def analyze(self, data, ctx: registry.ExperimentContext) -> str:
+        downtime = data["tenant_downtime_s"]
+        rows = [
+            [tenant, short, f"node{node}", downtime.get(tenant, 0.0)]
+            for short, tenant, node in TENANTS
+        ]
+        out = format_table(
+            ["Tenant", "App", "Frontend", "Fault downtime (s)"],
+            rows,
+            title="Chaos — per-tenant fault-attributable downtime "
+            f"({data['policy']}, 4-GPU supernode)",
+        )
+        lines = [
+            out,
+            f"faults injected: {data['faults_injected']}  "
+            f"retries: {data['retries']}  re-dispatched: {data['redispatched']}",
+            f"goodput: {data['goodput_rps']:.3f} req/s  "
+            f"mean completion: {data['mean_completion_s']:.2f}s  "
+            f"GPU downtime: "
+            + ", ".join(
+                f"GPU{g}={s:.1f}s" for g, s in sorted(data["gpu_downtime_s"].items())
+            ),
+            f"[chaos] requests lost: {data['lost']} of {data['offered']} offered",
+        ]
+        return "\n".join(lines)
+
+
+def main(scale: ExperimentScale = SCALE_PAPER) -> str:
+    return registry.run_main("chaos", scale=scale)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -13,6 +13,7 @@ from typing import Dict
 
 from repro.apps import ALL_APPS
 from repro.apps.catalog import REFERENCE_SPEC
+from repro.harness import registry
 from repro.harness.format import format_table
 
 
@@ -44,26 +45,36 @@ def run(scale=None) -> Dict[str, Dict[str, object]]:
     return out
 
 
+@registry.register("fig1")
+class Fig1(registry.Experiment):
+    """Fig. 1 — per-app compute/memory utilization classes (analytic, no DES)."""
+
+    def run(self, ctx: registry.ExperimentContext):
+        return run()
+
+    def analyze(self, data, ctx: registry.ExperimentContext) -> str:
+        rows = [
+            [app.short, app.name,
+             data[app.short]["compute_pct"], data[app.short]["compute_class"],
+             data[app.short]["memory_pct"], data[app.short]["memory_class"]]
+            for app in ALL_APPS
+            if app.short in data
+        ]
+        out = format_table(
+            ["App", "Name", "Compute%", "Class", "Memory%", "Class"],
+            title="Fig. 1 — compute / memory characteristics "
+                  "(red > 90%, yellow 10-90%, green < 10%)",
+            rows=rows,
+        )
+        # The paper's three call-outs: BFS-like compute-intensive (here DC),
+        # memory-intensive Monte Carlo, middling face-detection-like apps.
+        assert data["DC"]["compute_class"] != "green"
+        assert data["GA"]["compute_class"] == "green"
+        return out
+
+
 def main() -> str:
-    data = run()
-    rows = [
-        [app.short, app.name,
-         data[app.short]["compute_pct"], data[app.short]["compute_class"],
-         data[app.short]["memory_pct"], data[app.short]["memory_class"]]
-        for app in ALL_APPS
-    ]
-    out = format_table(
-        ["App", "Name", "Compute%", "Class", "Memory%", "Class"],
-        rows,
-        title="Fig. 1 — compute / memory characteristics "
-              "(red > 90%, yellow 10-90%, green < 10%)",
-    )
-    print(out)
-    # The paper's three call-outs: BFS-like compute-intensive (here DC),
-    # memory-intensive Monte Carlo, middling face-detection-like apps.
-    assert data["DC"]["compute_class"] != "green"
-    assert data["GA"]["compute_class"] == "green"
-    return out
+    return registry.run_main("fig1")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -24,6 +24,7 @@ from repro.sim.rng import RandomStream
 from repro.cluster import build_paper_supernode, build_small_server
 from repro.metrics import mean_completion_s
 from repro.workloads import PAIRS, exponential_stream, pair_apps
+from repro.harness import registry
 from repro.harness.format import format_table
 from repro.harness.runner import (
     ExperimentScale,
@@ -112,24 +113,39 @@ def run(
     return speedups
 
 
-def main(scale: ExperimentScale = SCALE_PAPER) -> str:
-    data = run(scale)
-    labels = list(PAIRS)
-    rows: List[list] = []
-    for policy in POLICIES:
-        rows.append(
-            [policy]
-            + [data[policy][l] for l in labels]
-            + [data[policy]["avg"], PAPER_AVERAGES[policy]]
+@registry.register("fig10")
+class Fig10(registry.Experiment):
+    """Fig. 10 — supernode-sharing speedup per workload pair and policy."""
+
+    def run(self, ctx: registry.ExperimentContext):
+        return run(
+            ctx.scale,
+            pair_labels=tuple(ctx.option("pairs", tuple(PAIRS))),
+            policies=tuple(ctx.option("policies", tuple(POLICIES))),
         )
-    out = format_table(
-        ["Policy"] + labels + ["AVG", "AVG(paper)"],
-        rows,
-        title="Fig. 10 — speedup from sharing the 4-GPU supernode "
-              "(vs single-node GRR of the same system family)",
-    )
-    print(out)
-    return out
+
+    def analyze(self, data, ctx: registry.ExperimentContext) -> str:
+        policies = [p for p in POLICIES if p in data]
+        labels = [
+            l for l in PAIRS if policies and l in data[policies[0]]
+        ]
+        rows: List[list] = []
+        for policy in policies:
+            rows.append(
+                [policy]
+                + [data[policy][l] for l in labels]
+                + [data[policy]["avg"], PAPER_AVERAGES[policy]]
+            )
+        return format_table(
+            ["Policy"] + labels + ["AVG", "AVG(paper)"],
+            rows,
+            title="Fig. 10 — speedup from sharing the 4-GPU supernode "
+                  "(vs single-node GRR of the same system family)",
+        )
+
+
+def main(scale: ExperimentScale = SCALE_PAPER) -> str:
+    return registry.run_main("fig10", scale=scale)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -19,6 +19,7 @@ import numpy as np
 from repro.cluster import build_single_gpu_server
 from repro.metrics import jains_fairness
 from repro.workloads import PAIRS, pair_apps
+from repro.harness import registry
 from repro.harness.format import format_table
 from repro.harness.runner import (
     ExperimentScale,
@@ -79,25 +80,38 @@ def run(
     return fairness
 
 
-def main(scale: ExperimentScale = SCALE_PAPER) -> str:
-    data = run(scale)
-    labels = list(PAIRS)
-    rows: List[list] = []
-    for system in SYSTEMS:
-        rows.append(
-            [system]
-            + [100 * data[system][l] for l in labels]
-            + [100 * data[system]["avg"], 100 * data[system]["max"]]
+@registry.register("fig11")
+class Fig11(registry.Experiment):
+    """Fig. 11 — Jain's fairness of app pairs sharing one GPU under TFS."""
+
+    def run(self, ctx: registry.ExperimentContext):
+        return run(
+            ctx.scale,
+            pair_labels=tuple(ctx.option("pairs", tuple(PAIRS))),
+            systems=tuple(ctx.option("systems", tuple(SYSTEMS))),
         )
-    out = format_table(
-        ["System"] + labels + ["AVG%", "MAX%"],
-        rows,
-        title="Fig. 11 — Jain's fairness (%) of pairs sharing one GPU, equal shares "
-              "(paper: TFS-Strings avg 91%, +13% vs CUDA, +7.14% vs TFS-Rain)",
-        floatfmt="{:.1f}",
-    )
-    print(out)
-    return out
+
+    def analyze(self, data, ctx: registry.ExperimentContext) -> str:
+        systems = [s for s in SYSTEMS if s in data]
+        labels = [l for l in PAIRS if systems and l in data[systems[0]]]
+        rows: List[list] = []
+        for system in systems:
+            rows.append(
+                [system]
+                + [100 * data[system][l] for l in labels]
+                + [100 * data[system]["avg"], 100 * data[system]["max"]]
+            )
+        return format_table(
+            ["System"] + labels + ["AVG%", "MAX%"],
+            rows,
+            title="Fig. 11 — Jain's fairness (%) of pairs sharing one GPU, equal shares "
+                  "(paper: TFS-Strings avg 91%, +13% vs CUDA, +7.14% vs TFS-Rain)",
+            floatfmt="{:.1f}",
+        )
+
+
+def main(scale: ExperimentScale = SCALE_PAPER) -> str:
+    return registry.run_main("fig11", scale=scale)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from repro.workloads import PAIRS
+from repro.harness import registry
 from repro.harness.format import format_table
 from repro.harness.pairsweep import family_of, pair_speedup_sweep
 from repro.harness.runner import ExperimentScale, SCALE_PAPER
@@ -36,21 +37,34 @@ def run(
     )
 
 
+@registry.register("fig13")
+class Fig13(registry.Experiment):
+    """Fig. 13 — device-scheduling benefit isolated from the sharing benefit."""
+
+    def run(self, ctx: registry.ExperimentContext):
+        return run(
+            ctx.scale,
+            pair_labels=tuple(ctx.option("pairs", tuple(PAIRS))),
+            policies=tuple(ctx.option("policies", tuple(POLICIES))),
+        )
+
+    def analyze(self, data, ctx: registry.ExperimentContext) -> str:
+        policies = [p for p in POLICIES if p in data]
+        labels = [l for l in PAIRS if policies and l in data[policies[0]]]
+        rows: List[list] = [
+            [p] + [data[p][l] for l in labels] + [data[p]["avg"], PAPER_AVERAGES[p]]
+            for p in policies
+        ]
+        return format_table(
+            ["Policy"] + labels + ["AVG", "AVG(paper)"],
+            rows,
+            title="Fig. 13 — GPU scheduling benefit alone "
+                  "(vs 4-GPU-shared GRR of the same family)",
+        )
+
+
 def main(scale: ExperimentScale = SCALE_PAPER) -> str:
-    data = run(scale)
-    labels = list(PAIRS)
-    rows: List[list] = [
-        [p] + [data[p][l] for l in labels] + [data[p]["avg"], PAPER_AVERAGES[p]]
-        for p in POLICIES
-    ]
-    out = format_table(
-        ["Policy"] + labels + ["AVG", "AVG(paper)"],
-        rows,
-        title="Fig. 13 — GPU scheduling benefit alone "
-              "(vs 4-GPU-shared GRR of the same family)",
-    )
-    print(out)
-    return out
+    return registry.run_main("fig13", scale=scale)
 
 
 if __name__ == "__main__":  # pragma: no cover

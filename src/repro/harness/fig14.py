@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from repro.workloads import PAIRS
+from repro.harness import registry
 from repro.harness.format import format_table
 from repro.harness.pairsweep import family_of, pair_speedup_sweep
 from repro.harness.runner import ExperimentScale, SCALE_PAPER
@@ -45,21 +46,34 @@ def run(
     )
 
 
+@registry.register("fig14")
+class Fig14(registry.Experiment):
+    """Fig. 14 — feedback balancing (RTF/GUF) with pre-warmed profiles."""
+
+    def run(self, ctx: registry.ExperimentContext):
+        return run(
+            ctx.scale,
+            pair_labels=tuple(ctx.option("pairs", tuple(PAIRS))),
+            policies=tuple(ctx.option("policies", tuple(POLICIES))),
+        )
+
+    def analyze(self, data, ctx: registry.ExperimentContext) -> str:
+        policies = [p for p in POLICIES if p in data]
+        labels = [l for l in PAIRS if policies and l in data[policies[0]]]
+        rows: List[list] = [
+            [p] + [data[p][l] for l in labels] + [data[p]["avg"], PAPER_AVERAGES[p]]
+            for p in policies
+        ]
+        return format_table(
+            ["Policy"] + labels + ["AVG", "AVG(paper)"],
+            rows,
+            title="Fig. 14 — feedback-based load balancing "
+                  "(vs single-node GRR of the same family; SFT pre-warmed)",
+        )
+
+
 def main(scale: ExperimentScale = SCALE_PAPER) -> str:
-    data = run(scale)
-    labels = list(PAIRS)
-    rows: List[list] = [
-        [p] + [data[p][l] for l in labels] + [data[p]["avg"], PAPER_AVERAGES[p]]
-        for p in POLICIES
-    ]
-    out = format_table(
-        ["Policy"] + labels + ["AVG", "AVG(paper)"],
-        rows,
-        title="Fig. 14 — feedback-based load balancing "
-              "(vs single-node GRR of the same family; SFT pre-warmed)",
-    )
-    print(out)
-    return out
+    return registry.run_main("fig14", scale=scale)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -18,6 +18,7 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from repro.workloads import PAIRS
+from repro.harness import registry
 from repro.harness.format import format_table
 from repro.harness.pairsweep import pair_speedup_sweep
 from repro.harness.runner import ExperimentScale, SCALE_PAPER
@@ -52,26 +53,41 @@ def run(
     return data
 
 
-def main(scale: ExperimentScale = SCALE_PAPER) -> str:
-    data = run(scale)
-    labels = list(PAIRS)
-    rows: List[list] = [
-        [p] + [data[p][l] for l in labels] + [data[p]["avg"], PAPER_AVERAGES[p]]
-        for p in POLICIES
-    ]
-    out = format_table(
-        ["Policy"] + labels + ["AVG", "AVG(paper)"],
-        rows,
-        title="Fig. 15 — Strings-specific feedback policies "
-              "(vs single-node GRR-Strings; SFT pre-warmed)",
-    )
-    if "mbf_vs_cuda_avg" in data:
-        out += (
-            f"\nheadline: MBF vs bare CUDA runtime = "
-            f"{data['mbf_vs_cuda_avg']:.2f}x (paper: 8.70x)"
+@registry.register("fig15")
+class Fig15(registry.Experiment):
+    """Fig. 15 — Strings-only feedback (DTF/MBF) plus the CUDA headline."""
+
+    def run(self, ctx: registry.ExperimentContext):
+        return run(
+            ctx.scale,
+            pair_labels=tuple(ctx.option("pairs", tuple(PAIRS))),
+            policies=tuple(ctx.option("policies", tuple(POLICIES))),
+            include_cuda_headline=bool(ctx.option("cuda_headline", True)),
         )
-    print(out)
-    return out
+
+    def analyze(self, data, ctx: registry.ExperimentContext) -> str:
+        policies = [p for p in POLICIES if p in data]
+        labels = [l for l in PAIRS if policies and l in data[policies[0]]]
+        rows: List[list] = [
+            [p] + [data[p][l] for l in labels] + [data[p]["avg"], PAPER_AVERAGES[p]]
+            for p in policies
+        ]
+        out = format_table(
+            ["Policy"] + labels + ["AVG", "AVG(paper)"],
+            rows,
+            title="Fig. 15 — Strings-specific feedback policies "
+                  "(vs single-node GRR-Strings; SFT pre-warmed)",
+        )
+        if "mbf_vs_cuda_avg" in data:
+            out += (
+                f"\nheadline: MBF vs bare CUDA runtime = "
+                f"{data['mbf_vs_cuda_avg']:.2f}x (paper: 8.70x)"
+            )
+        return out
+
+
+def main(scale: ExperimentScale = SCALE_PAPER) -> str:
+    return registry.run_main("fig15", scale=scale)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -22,6 +22,7 @@ from repro.cluster import build_single_gpu_server
 from repro.core.policies import GRR
 from repro.core.systems import CudaRuntimeSystem, StringsSystem
 from repro.apps import app_by_short, run_request
+from repro.harness import registry
 from repro.harness.runner import ExperimentScale, SCALE_PAPER
 from repro.simgpu.trace import utilization_timeline
 from repro.workloads import exponential_stream
@@ -83,32 +84,40 @@ def run(scale: ExperimentScale = SCALE_PAPER) -> Dict[str, Dict]:
     }
 
 
-def main(scale: ExperimentScale = SCALE_PAPER) -> str:
-    data = run(scale)
-    lines = ["Fig. 2 — Monte-Carlo request streams: GPU utilization over time"]
-    for label in ("sequential", "concurrent"):
-        d = data[label]
-        lines.append(
-            f"{label:11s}: ctx switches {d['ctx_switches']:4d}  "
-            f"glitch idle {d['glitch_idle_s']:6.2f}s  "
-            f"mean completion {d['mean_completion_s']:7.2f}s  "
-            f"makespan {d['makespan_s']:7.1f}s  "
-            f"util std {d['utilization_std']:5.1f}"
-        )
-    for label in ("sequential", "concurrent"):
-        d = data[label]
-        step = max(1, len(d["times_s"]) // 12)
-        lines.append(
-            format_series(
-                f"{label} util% ",
-                [f"{t:.0f}s" for t in d["times_s"][::step]],
-                d["utilization_pct"][::step],
-                y_fmt="{:.0f}",
+@registry.register("fig2")
+class Fig2(registry.Experiment):
+    """Fig. 2 — GPU utilization timelines: sequential contexts vs packed streams."""
+
+    def run(self, ctx: registry.ExperimentContext):
+        return run(ctx.scale)
+
+    def analyze(self, data, ctx: registry.ExperimentContext) -> str:
+        lines = ["Fig. 2 — Monte-Carlo request streams: GPU utilization over time"]
+        for label in ("sequential", "concurrent"):
+            d = data[label]
+            lines.append(
+                f"{label:11s}: ctx switches {d['ctx_switches']:4d}  "
+                f"glitch idle {d['glitch_idle_s']:6.2f}s  "
+                f"mean completion {d['mean_completion_s']:7.2f}s  "
+                f"makespan {d['makespan_s']:7.1f}s  "
+                f"util std {d['utilization_std']:5.1f}"
             )
-        )
-    out = "\n".join(lines)
-    print(out)
-    return out
+        for label in ("sequential", "concurrent"):
+            d = data[label]
+            step = max(1, len(d["times_s"]) // 12)
+            lines.append(
+                format_series(
+                    f"{label} util% ",
+                    [f"{t:.0f}s" for t in d["times_s"][::step]],
+                    d["utilization_pct"][::step],
+                    y_fmt="{:.0f}",
+                )
+            )
+        return "\n".join(lines)
+
+
+def main(scale: ExperimentScale = SCALE_PAPER) -> str:
+    return registry.run_main("fig2", scale=scale)
 
 
 if __name__ == "__main__":  # pragma: no cover

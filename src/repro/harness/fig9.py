@@ -21,6 +21,7 @@ from repro.cluster import build_small_server
 from repro.apps import ALL_APPS
 from repro.metrics import mean_completion_s
 from repro.workloads import exponential_stream
+from repro.harness import registry
 from repro.harness.format import format_table
 from repro.harness.runner import (
     ExperimentScale,
@@ -84,24 +85,40 @@ def run(
     return speedups
 
 
-def main(scale: ExperimentScale = SCALE_PAPER) -> str:
-    data = run(scale)
-    apps = [a.short for a in ALL_APPS]
-    rows: List[list] = []
-    for policy in POLICIES:
-        rows.append(
-            [policy]
-            + [data[policy][a] for a in apps]
-            + [data[policy]["avg"], PAPER_AVERAGES[policy]]
+@registry.register("fig9")
+class Fig9(registry.Experiment):
+    """Fig. 9 — per-app speedup of each balancing policy over the CUDA runtime."""
+
+    def run(self, ctx: registry.ExperimentContext):
+        return run(
+            ctx.scale,
+            apps=ctx.option("apps"),
+            policies=ctx.option("policies"),
         )
-    out = format_table(
-        ["Policy"] + apps + ["AVG", "AVG(paper)"],
-        rows,
-        title="Fig. 9 — relative speedup over the CUDA runtime "
-              "(single node, 2 GPUs, per-app request streams)",
-    )
-    print(out)
-    return out
+
+    def analyze(self, data, ctx: registry.ExperimentContext) -> str:
+        policies = [p for p in POLICIES if p in data]
+        apps = [
+            a.short for a in ALL_APPS
+            if policies and a.short in data[policies[0]]
+        ]
+        rows: List[list] = []
+        for policy in policies:
+            rows.append(
+                [policy]
+                + [data[policy][a] for a in apps]
+                + [data[policy]["avg"], PAPER_AVERAGES[policy]]
+            )
+        return format_table(
+            ["Policy"] + apps + ["AVG", "AVG(paper)"],
+            rows,
+            title="Fig. 9 — relative speedup over the CUDA runtime "
+                  "(single node, 2 GPUs, per-app request streams)",
+        )
+
+
+def main(scale: ExperimentScale = SCALE_PAPER) -> str:
+    return registry.run_main("fig9", scale=scale)
 
 
 if __name__ == "__main__":  # pragma: no cover

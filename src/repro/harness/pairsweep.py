@@ -10,6 +10,7 @@ from repro.sim.rng import RandomStream
 from repro.cluster import build_paper_supernode, build_small_server
 from repro.metrics import mean_completion_s
 from repro.workloads import PAIRS, exponential_stream, pair_apps
+from repro.harness import registry
 from repro.harness.runner import (
     ExperimentScale,
     run_stream_experiment,
@@ -111,4 +112,57 @@ def pair_speedup_sweep(
     return speedups
 
 
-__all__ = ["family_of", "pair_speedup_sweep", "pair_streams"]
+@registry.register("pairsweep")
+class PairSweep(registry.GridExperiment):
+    """Declared policy x pair grid: supernode speedup vs single-node GRR.
+
+    The generic grid executor walks every (policy, pair) point through
+    :meth:`run_point`; family baselines (single-node GRR, the Fig. 10
+    convention) are simulated once per (family, pair) and memoized for
+    the rest of the sweep.  Override the axes from the CLI with
+    ``-O policies='[...]'`` / ``-O pairs='[...]'`` — no new plumbing.
+    """
+
+    grid = registry.ParamGrid.of(
+        policy=("GMin-Strings", "GMin-Rain"), pair=tuple(PAIRS)
+    )
+
+    def grid_for(self, ctx: registry.ExperimentContext) -> registry.ParamGrid:
+        return registry.ParamGrid.of(
+            policy=tuple(ctx.option("policies", ("GMin-Strings", "GMin-Rain"))),
+            pair=tuple(ctx.option("pairs", tuple(PAIRS))),
+        )
+
+    def prepare(self, ctx: registry.ExperimentContext) -> None:
+        self._factories = system_factories()
+        self._base_means: Dict[tuple, float] = {}
+
+    def _baseline_mean(self, policy: str, pair: str, scale: ExperimentScale) -> float:
+        base_label = f"GRR-{family_of(policy)}"
+        key = (base_label, pair)
+        if key not in self._base_means:
+            base = run_stream_experiment(
+                self._factories[base_label],
+                pair_streams(pair, scale, split_nodes=False, tag="pairsweep"),
+                build_small_server,
+                label=f"{base_label}-baseline",
+            )
+            self._base_means[key] = mean_completion_s(base.results)
+        return self._base_means[key]
+
+    def run_point(self, params, ctx: registry.ExperimentContext):
+        policy, pair = str(params["policy"]), str(params["pair"])
+        res = run_stream_experiment(
+            self._factories[policy],
+            pair_streams(pair, ctx.scale, split_nodes=True, tag="pairsweep"),
+            build_paper_supernode,
+            label=policy,
+        )
+        mean = mean_completion_s(res.results)
+        return {
+            "speedup": self._baseline_mean(policy, pair, ctx.scale) / mean,
+            "mean_completion_s": mean,
+        }
+
+
+__all__ = ["PairSweep", "family_of", "pair_speedup_sweep", "pair_streams"]

@@ -31,14 +31,14 @@ from repro.cluster import build_paper_supernode
 from repro.obs import (
     LiveConsole,
     Sampler,
-    SketchHistogram,
-    SpanShardStore,
     Telemetry,
     ZoneProfiler,
+    attach_store,
     parse_slo_spec,
     slo_violation_predicate,
 )
 from repro.traffic import TrafficGenerator, parse_traffic_spec
+from repro.harness import registry
 from repro.harness.format import format_table
 from repro.harness.runner import run_open_loop_experiment, system_factories
 
@@ -94,9 +94,9 @@ def run_point(
 
     store = None
     if stream_dir is not None:
-        point_dir = os.path.join(stream_dir, f"point-{label}")
-        store = SpanShardStore(
-            point_dir,
+        store = attach_store(
+            tel,
+            os.path.join(stream_dir, f"point-{label}"),
             buffer_limit=span_buffer,
             violation=(
                 slo_violation_predicate(slo_monitor.targets)
@@ -104,12 +104,6 @@ def run_point(
                 else None
             ),
         )
-        tel.spans = store
-        tel._append_span = store.append
-        tel.stream = store
-        tel.histogram_cls = SketchHistogram
-        if profile is not None:
-            store.perf = tel.perf
     if live is not None:
         tel.console = LiveConsole(interval_s=live)
 
@@ -372,6 +366,58 @@ code {{ background: #f4f4f4; padding: 1px 4px; }}
         fh.write(html)
 
 
+@registry.register("scale")
+class Scale(registry.Experiment):
+    """Scale — load-to-the-knee sweep of generated traffic (goodput knee)."""
+
+    #: The declared sweep axis (actual loads come from ``-O loads`` /
+    #: ``--loads``; per-point telemetry isolation happens in run_point).
+    grid = registry.ParamGrid.of(load=DEFAULT_LOADS)
+
+    def run(self, ctx: registry.ExperimentContext):
+        def progress(point: Dict[str, object]) -> None:
+            print(
+                f"  [{point['multiplier']:g}x] offered {point['offered']} "
+                f"goodput {point['goodput_rps']:.2f} rps "
+                f"mean {point['mean_latency_s']:.2f}s "
+                f"aborted {point['aborted']} "
+                f"({point['wall_time_s']:.1f}s wall)"
+            )
+
+        return run_sweep(
+            traffic=str(ctx.option("traffic", DEFAULT_TRAFFIC)),
+            loads=tuple(ctx.option("loads", DEFAULT_LOADS)),
+            system=str(ctx.option("system", "strings")),
+            seed=int(ctx.option("seed", 42)),
+            stream_dir=ctx.option("stream_dir"),
+            span_buffer=int(ctx.option("span_buffer", 10_000)),
+            slo=ctx.option("slo"),
+            live=ctx.option("live"),
+            sample_interval=float(ctx.option("sample_interval", 1.0)),
+            fault_plan=ctx.option("fault_plan"),
+            profile=ctx.option("profile"),
+            progress=progress if ctx.option("progress", True) else None,
+        )
+
+    def analyze(self, doc, ctx: registry.ExperimentContext) -> str:
+        lines = ["", format_sweep(doc)]
+        # Per-point CPU ledgers exist exactly when the sweep ran under
+        # --profile; render from the document so cached re-analysis needs
+        # no knowledge of the original flags.
+        for p in doc["points"]:
+            ledger = p.get("cpu_ledger") or {}
+            zones = ledger.get("zones") or []
+            if zones:
+                top = ", ".join(
+                    f"{z['zone']} {z['self_share']:.0%}" for z in zones[:3]
+                )
+                lines.append(
+                    f"  [{p['multiplier']:g}x] CPU "
+                    f"{ledger['total_self_s']:.2f}s profiled — {top}"
+                )
+        return "\n".join(lines)
+
+
 def main(
     traffic: str = DEFAULT_TRAFFIC,
     loads: Sequence[float] = DEFAULT_LOADS,
@@ -386,46 +432,26 @@ def main(
     profile: Optional[float] = None,
     out_json: Optional[str] = None,
     out_html: Optional[str] = None,
+    out_dir: Optional[str] = None,
 ) -> Dict[str, object]:
     """CLI driver: run the sweep, print the table, write artifacts."""
-
-    def progress(point: Dict[str, object]) -> None:
-        print(
-            f"  [{point['multiplier']:g}x] offered {point['offered']} "
-            f"goodput {point['goodput_rps']:.2f} rps "
-            f"mean {point['mean_latency_s']:.2f}s "
-            f"aborted {point['aborted']} "
-            f"({point['wall_time_s']:.1f}s wall)"
-        )
-
-    doc = run_sweep(
-        traffic=traffic,
-        loads=loads,
-        system=system,
-        seed=seed,
-        stream_dir=stream_dir,
-        span_buffer=span_buffer,
-        slo=slo,
-        live=live,
-        sample_interval=sample_interval,
-        fault_plan=fault_plan,
-        profile=profile,
-        progress=progress,
-    )
-    print()
-    print(format_sweep(doc))
-    if profile is not None:
-        for p in doc["points"]:
-            ledger = p.get("cpu_ledger") or {}
-            zones = ledger.get("zones") or []
-            if zones:
-                top = ", ".join(
-                    f"{z['zone']} {z['self_share']:.0%}" for z in zones[:3]
-                )
-                print(
-                    f"  [{p['multiplier']:g}x] CPU "
-                    f"{ledger['total_self_s']:.2f}s profiled — {top}"
-                )
+    ctx = registry.ExperimentContext(options={
+        k: v for k, v in dict(
+            traffic=traffic,
+            loads=tuple(loads),
+            system=system,
+            seed=seed,
+            stream_dir=stream_dir,
+            span_buffer=span_buffer,
+            slo=slo,
+            live=live,
+            sample_interval=sample_interval,
+            fault_plan=fault_plan,
+            profile=profile,
+        ).items() if v is not None
+    }, out_dir=out_dir)
+    exp, doc = registry.execute("scale", ctx)
+    print(exp.analyze(doc, ctx))
     if out_json is not None:
         with open(out_json, "w") as fh:
             json.dump(doc, fh, indent=2, sort_keys=True)
@@ -433,6 +459,8 @@ def main(
     if out_html is not None:
         write_scale_card(doc, out_html)
         print(f"[scale report written to {out_html}]")
+    if out_dir is not None:
+        print(f"[run artifacts written to {out_dir}]")
     return doc
 
 
@@ -441,6 +469,7 @@ __all__ = [
     "DEFAULT_TRAFFIC",
     "KNEE_EFFICIENCY",
     "SYSTEMS",
+    "Scale",
     "find_knee",
     "format_sweep",
     "main",

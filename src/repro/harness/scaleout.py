@@ -24,6 +24,7 @@ from repro.core.systems import Design2System, RainSystem, StringsSystem
 from repro.metrics import mean_completion_s
 from repro.workloads import exponential_stream
 from repro.apps import app_by_short
+from repro.harness import registry
 from repro.harness.format import format_table
 from repro.harness.runner import (
     ExperimentScale,
@@ -94,21 +95,34 @@ def run(
     return out
 
 
+@registry.register("scaleout")
+class Scaleout(registry.Experiment):
+    """Scale-out — completion time and speedup over growing gPool sizes."""
+
+    def run(self, ctx: registry.ExperimentContext):
+        return run(
+            ctx.scale,
+            max_nodes=int(ctx.option("max_nodes", 4)),
+            system=str(ctx.option("system", "strings")),
+        )
+
+    def analyze(self, data, ctx: registry.ExperimentContext) -> str:
+        system = str(ctx.option("system", "strings"))
+        rows = [
+            [n, d["gpus"], d["mean_completion_s"], d["speedup_vs_1node"]]
+            for n, d in sorted(data.items())
+        ]
+        name = SYSTEMS[system].name
+        return format_table(
+            ["Nodes", "GPUs", "Mean completion (s)", "Speedup vs 1 node"],
+            rows,
+            title=f"Scale-out extension — GMin-{name} over growing gPools "
+                  "(fixed aggregate workload arriving at node 0)",
+        )
+
+
 def main(scale: ExperimentScale = SCALE_PAPER, system: str = "strings") -> str:
-    data = run(scale, system=system)
-    rows = [
-        [n, d["gpus"], d["mean_completion_s"], d["speedup_vs_1node"]]
-        for n, d in sorted(data.items())
-    ]
-    name = SYSTEMS[system].name
-    out = format_table(
-        ["Nodes", "GPUs", "Mean completion (s)", "Speedup vs 1 node"],
-        rows,
-        title=f"Scale-out extension — GMin-{name} over growing gPools "
-              "(fixed aggregate workload arriving at node 0)",
-    )
-    print(out)
-    return out
+    return registry.run_main("scaleout", scale=scale, system=system)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -15,6 +15,7 @@ from repro.cluster import build_single_gpu_server
 from repro.core.systems import CudaRuntimeSystem
 from repro.apps import ALL_APPS, run_request
 from repro.apps.catalog import PAPER_BANDWIDTH_MBPS, REFERENCE_SPEC
+from repro.harness import registry
 from repro.harness.format import format_table
 
 #: Paper Table I reference columns: (GPU time %, data transfer %).
@@ -52,33 +53,43 @@ def run(scale=None) -> Dict[str, Dict[str, float]]:
     return {app.short: profile_app(app) for app in ALL_APPS}
 
 
+@registry.register("table1")
+class Table1(registry.Experiment):
+    """Table I — solo app profiles under the bare CUDA runtime vs the paper."""
+
+    def run(self, ctx: registry.ExperimentContext):
+        return run()
+
+    def analyze(self, measured, ctx: registry.ExperimentContext) -> str:
+        rows: List[list] = []
+        for app in ALL_APPS:
+            if app.short not in measured:
+                continue
+            m = measured[app.short]
+            paper_gpu, paper_tx = PAPER_TABLE1[app.short]
+            rows.append([
+                f"{app.name} ({app.short})",
+                app.group,
+                app.input_label,
+                m["runtime_s"],
+                m["gpu_pct"],
+                paper_gpu,
+                m["transfer_pct"],
+                paper_tx,
+                m["bandwidth_mbps"],
+                PAPER_BANDWIDTH_MBPS[app.short],
+            ])
+        return format_table(
+            ["Program", "Grp", "Input", "Runtime(s)", "GPU%", "GPU%(paper)",
+             "Xfer%", "Xfer%(paper)", "MemBW(MB/s)", "MemBW(paper)"],
+            rows,
+            title="Table I — benchmark application characteristics "
+                  f"(measured solo on {REFERENCE_SPEC.name}; bandwidth rescaled, ranking preserved)",
+        )
+
+
 def main() -> str:
-    measured = run()
-    rows: List[list] = []
-    for app in ALL_APPS:
-        m = measured[app.short]
-        paper_gpu, paper_tx = PAPER_TABLE1[app.short]
-        rows.append([
-            f"{app.name} ({app.short})",
-            app.group,
-            app.input_label,
-            m["runtime_s"],
-            m["gpu_pct"],
-            paper_gpu,
-            m["transfer_pct"],
-            paper_tx,
-            m["bandwidth_mbps"],
-            PAPER_BANDWIDTH_MBPS[app.short],
-        ])
-    out = format_table(
-        ["Program", "Grp", "Input", "Runtime(s)", "GPU%", "GPU%(paper)",
-         "Xfer%", "Xfer%(paper)", "MemBW(MB/s)", "MemBW(paper)"],
-        rows,
-        title="Table I — benchmark application characteristics "
-              f"(measured solo on {REFERENCE_SPEC.name}; bandwidth rescaled, ranking preserved)",
-    )
-    print(out)
-    return out
+    return registry.run_main("table1")
 
 
 if __name__ == "__main__":  # pragma: no cover

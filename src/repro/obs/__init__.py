@@ -57,6 +57,7 @@ from repro.obs.console import LiveConsole
 from repro.obs.stream import (
     SpanShardStore,
     StreamProfiler,
+    attach_store,
     iter_disk_batches,
     profile_shard_dir,
     profile_stream,
@@ -166,6 +167,7 @@ __all__ = [
     "ZoneProfiler",
     "ZoneStat",
     "analyze",
+    "attach_store",
     "check_tolerances",
     "current",
     "diff_runs",

@@ -500,6 +500,35 @@ class SpanShardStore:
         )
 
 
+def attach_store(
+    telemetry,
+    directory: str,
+    buffer_limit: int = 10_000,
+    violation: Optional[Callable[[Span], bool]] = None,
+) -> SpanShardStore:
+    """Wire a registry for streaming mode; returns the new shard store.
+
+    The canonical ``--stream-dir`` hookup, previously copy-pasted by the
+    harness and every benchmark: spans shard to ``directory``, the
+    sampler tick flushes the store, and quantile sketches replace exact
+    histograms so instrument memory stays bounded.  If the registry
+    already carries a wall-clock :class:`~repro.telemetry.perf.ZoneProfiler`
+    (``telemetry.perf``), flush cost is charged to its
+    ``telemetry.flush`` zone.
+    """
+    from repro.telemetry.sketch import SketchHistogram
+
+    store = SpanShardStore(directory, buffer_limit=buffer_limit, violation=violation)
+    telemetry.spans = store
+    telemetry._append_span = store.append
+    telemetry.stream = store
+    telemetry.histogram_cls = SketchHistogram
+    perf = getattr(telemetry, "perf", None)
+    if perf is not None:
+        store.perf = perf
+    return store
+
+
 _PHASE_SET = frozenset(REQUEST_PHASES)
 
 
@@ -679,6 +708,7 @@ def profile_shard_dir(directory: str) -> RunProfile:
 __all__ = [
     "SpanShardStore",
     "StreamProfiler",
+    "attach_store",
     "iter_disk_batches",
     "profile_shard_dir",
     "profile_stream",

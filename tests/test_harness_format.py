@@ -1,0 +1,58 @@
+"""Unit tests for the plain-text formatting helpers (repro.harness.format)."""
+
+import pytest
+
+from repro.harness.format import format_series, format_table, geomean
+
+
+def test_format_table_aligns_columns():
+    out = format_table(["Name", "X"], [["a", 1], ["longer", 22]])
+    lines = out.splitlines()
+    assert len(lines) == 4  # header, rule, two rows
+    # Every line is padded to the same layout: the second column starts
+    # at the same offset everywhere.
+    assert lines[0].startswith("Name  ")
+    assert lines[1] == "------  --"
+    starts = {lines[0].index("X"), lines[2].index("1"), lines[3].index("22")}
+    assert starts == {8}
+
+
+def test_format_table_column_width_tracks_widest_cell():
+    out = format_table(["H"], [["wide-cell"]])
+    header, rule, row = out.splitlines()
+    assert len(rule) == len("wide-cell")
+    assert header == "H".ljust(len("wide-cell"))
+
+
+def test_format_table_floats_use_floatfmt():
+    out = format_table(["v"], [[1.23456], [2.0]])
+    assert "1.23" in out and "2.00" in out
+    out = format_table(["v"], [[1.23456]], floatfmt="{:.4f}")
+    assert "1.2346" in out
+    # Ints are not floats: rendered verbatim, no decimal point.
+    out = format_table(["v"], [[7]])
+    assert out.splitlines()[-1].strip() == "7"
+
+
+def test_format_table_title_is_first_line():
+    out = format_table(["a"], [], title="the title")
+    assert out.splitlines()[0] == "the title"
+    assert format_table(["a"], []).splitlines()[0] == "a"
+
+
+def test_format_table_empty_rows_renders_header_only():
+    out = format_table(["Alpha", "B"], [])
+    lines = out.splitlines()
+    assert lines == ["Alpha  B", "-----  -"]
+
+
+def test_format_series_pairs_and_format():
+    out = format_series("lbl", [1, 2], [0.5, 1.25])
+    assert out == "lbl: 1:0.50 2:1.25"
+    out = format_series("lbl", ["x"], [3.14159], y_fmt="{:.1f}")
+    assert out == "lbl: x:3.1"
+
+
+def test_geomean():
+    assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+    assert geomean([5.0]) == pytest.approx(5.0)

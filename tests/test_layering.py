@@ -73,3 +73,76 @@ def test_from_repro_import_subpackage_is_ranked(tmp_path):
     violations = check_layering.check(root)
     assert len(violations) == 1
     assert "harness" in violations[0]
+
+
+# -- intra-harness ranks (ISSUE 10) ------------------------------------------
+
+
+def test_every_harness_module_is_ranked():
+    modules = {
+        p.stem
+        for p in (check_layering.REPRO_ROOT / "harness").glob("*.py")
+    }
+    assert modules == set(check_layering.HARNESS_RANK)
+
+
+def test_harness_back_edge_is_caught(tmp_path):
+    root = tmp_path / "repro"
+    (root / "harness").mkdir(parents=True)
+    (root / "harness" / "__init__.py").write_text("")
+    (root / "harness" / "format.py").write_text(
+        "from repro.harness import registry\n"
+    )
+    violations = check_layering.check(root)
+    assert len(violations) == 1
+    assert "harness back-edge" in violations[0]
+    assert "format" in violations[0] and "registry" in violations[0]
+
+
+def test_harness_equal_rank_siblings_rejected(tmp_path):
+    root = tmp_path / "repro"
+    (root / "harness").mkdir(parents=True)
+    (root / "harness" / "__init__.py").write_text("")
+    (root / "harness" / "fig1.py").write_text(
+        "from repro.harness.fig2 import run\n"
+    )
+    violations = check_layering.check(root)
+    assert len(violations) == 1
+    assert "harness back-edge" in violations[0]
+
+
+def test_harness_downward_import_allowed(tmp_path):
+    root = tmp_path / "repro"
+    (root / "harness").mkdir(parents=True)
+    (root / "harness" / "__init__.py").write_text("")
+    (root / "harness" / "fig1.py").write_text(
+        "from repro.harness import registry\n"
+        "from repro.harness.format import format_table\n"
+        "import repro.harness.runner\n"
+    )
+    assert check_layering.check(root) == []
+
+
+def test_unranked_harness_module_flagged(tmp_path):
+    root = tmp_path / "repro"
+    (root / "harness").mkdir(parents=True)
+    (root / "harness" / "__init__.py").write_text("")
+    (root / "harness" / "mystery.py").write_text("")
+    violations = check_layering.check(root)
+    assert len(violations) == 1
+    assert "unranked harness module" in violations[0]
+
+
+def test_facade_reexport_counts_as_init_import(tmp_path):
+    # ``from repro.harness import run_stream_experiment`` reaches through
+    # the package facade: ranked as an import of __init__ (rank 3), legal
+    # from experiment modules, illegal from format/runner.
+    root = tmp_path / "repro"
+    (root / "harness").mkdir(parents=True)
+    (root / "harness" / "__init__.py").write_text("")
+    (root / "harness" / "runner.py").write_text(
+        "from repro.harness import run_stream_experiment\n"
+    )
+    violations = check_layering.check(root)
+    assert len(violations) == 1
+    assert "harness back-edge" in violations[0]

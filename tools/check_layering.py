@@ -25,6 +25,15 @@ about the scheduler" bugs start, so CI fails on any.
 
 Equal-rank packages (workloads/metrics) are siblings and may not import
 each other.  Run:  python tools/check_layering.py  (exit 1 on violation).
+
+Within ``repro.harness`` the same discipline applies one level down
+(DESIGN.md §16): ``format`` and ``runner`` are the leaves, ``registry``
+builds the experiment protocol over them, ``pairsweep`` layers its grid
+experiment over the registry, the figure/table/extension modules sit
+above that, and ``__main__`` dispatches over everything.  The registry
+deliberately reaches experiment modules only through
+``importlib.import_module`` at discovery time — a *call*, not an import
+statement — so no static back-edge exists.
 """
 
 from __future__ import annotations
@@ -52,6 +61,33 @@ RANK = {
     "harness": 13,
 }
 
+#: Intra-package layer rank of each repro.harness module.  A harness
+#: module M may import repro.harness.N only when HARNESS_RANK[N] <
+#: HARNESS_RANK[M]; equal ranks are siblings and may not import each
+#: other.  ``__init__`` is the thin facade over the runner.
+HARNESS_RANK = {
+    "format": 1,
+    "runner": 2,
+    "__init__": 3,
+    "registry": 3,
+    "pairsweep": 4,
+    "table1": 5,
+    "fig1": 5,
+    "fig2": 5,
+    "fig9": 5,
+    "fig10": 5,
+    "fig11": 5,
+    "fig12": 5,
+    "fig13": 5,
+    "fig14": 5,
+    "fig15": 5,
+    "ablations": 5,
+    "chaos": 5,
+    "scale": 5,
+    "scaleout": 5,
+    "__main__": 6,
+}
+
 REPRO_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
 
 
@@ -77,6 +113,59 @@ def _imported_repro_packages(tree: ast.AST):
                             yield node.lineno, alias.name
 
 
+def _imported_harness_modules(tree: ast.AST):
+    """Yield (lineno, harness submodule) for every repro.harness import."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                parts = alias.name.split(".")
+                if parts[:2] == ["repro", "harness"] and len(parts) > 2:
+                    yield node.lineno, parts[2]
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or not node.module:
+                continue
+            parts = node.module.split(".")
+            if parts[:2] != ["repro", "harness"]:
+                continue
+            if len(parts) > 2:
+                yield node.lineno, parts[2]
+            else:
+                # ``from repro.harness import X``: X may be a submodule
+                # (registry), or a name re-exported by __init__.
+                for alias in node.names:
+                    if alias.name in HARNESS_RANK:
+                        yield node.lineno, alias.name
+                    else:
+                        yield node.lineno, "__init__"
+
+
+def _check_harness(path: Path, module: str, tree: ast.AST, violations):
+    """Apply the intra-harness layer ranks to one harness module."""
+    rank = HARNESS_RANK.get(module)
+    if rank is None:
+        violations.append(
+            f"{path}: unranked harness module repro.harness.{module}"
+            " (add it to HARNESS_RANK in tools/check_layering.py)"
+        )
+        return
+    for lineno, target in _imported_harness_modules(tree):
+        if target == module:
+            continue
+        if target not in HARNESS_RANK:
+            violations.append(
+                f"{path}:{lineno}: import of unranked harness module "
+                f"repro.harness.{target} (add it to HARNESS_RANK in "
+                "tools/check_layering.py)"
+            )
+        elif HARNESS_RANK[target] >= rank:
+            violations.append(
+                f"{path}:{lineno}: harness back-edge: {module} (rank "
+                f"{rank}) imports repro.harness.{target} (rank "
+                f"{HARNESS_RANK[target]}) — harness modules may only "
+                "import strictly lower ranks"
+            )
+
+
 def check(root: Path = REPRO_ROOT):
     """Return a list of human-readable violation strings."""
     violations = []
@@ -87,6 +176,8 @@ def check(root: Path = REPRO_ROOT):
             # Top-level modules (repro/__init__.py) may import anything.
             continue
         tree = ast.parse(path.read_text(), filename=str(path))
+        if package == "harness" and len(rel.parts) == 2:
+            _check_harness(path, rel.parts[1][:-3], tree, violations)
         for lineno, target in _imported_repro_packages(tree):
             if target == package:
                 continue
